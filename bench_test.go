@@ -1,0 +1,206 @@
+// Benchmark harness: one benchmark per table and figure of the paper's
+// evaluation (see DESIGN.md §4 for the experiment index), plus
+// micro-benchmarks of the substrates (autograd matmul, transformer step,
+// generators, state-machine replay).
+//
+// The experiment benchmarks share one Lab, so generator training happens
+// once per process; subsequent iterations re-render tables from cached
+// artifacts. The scale defaults to "unit" so `go test -bench=.` completes
+// quickly; set CPTGPT_SCALE=short or =full (or run cmd/cptexperiments) for
+// paper-shaped sizes.
+package cptgen
+
+import (
+	"bytes"
+	"os"
+	"sync"
+	"testing"
+
+	"cptgpt/internal/cptgpt"
+	"cptgpt/internal/events"
+	"cptgpt/internal/experiments"
+	"cptgpt/internal/metrics"
+	"cptgpt/internal/smm"
+	"cptgpt/internal/stats"
+	"cptgpt/internal/synthetic"
+	"cptgpt/internal/tensor"
+	"cptgpt/internal/trace"
+)
+
+var (
+	benchLabOnce sync.Once
+	benchLab     *experiments.Lab
+	benchLabErr  error
+)
+
+func lab(b *testing.B) *experiments.Lab {
+	b.Helper()
+	benchLabOnce.Do(func() {
+		scale := experiments.Unit
+		if s := os.Getenv("CPTGPT_SCALE"); s != "" {
+			var err error
+			if scale, err = experiments.ParseScale(s); err != nil {
+				benchLabErr = err
+				return
+			}
+		}
+		benchLab = experiments.NewLab(scale, 1)
+	})
+	if benchLabErr != nil {
+		b.Fatal(benchLabErr)
+	}
+	return benchLab
+}
+
+func benchExperiment(b *testing.B, id string) {
+	b.Helper()
+	l := lab(b)
+	e, err := experiments.Lookup(id)
+	if err != nil {
+		b.Fatal(err)
+	}
+	// Warm the lab (train models, cache datasets) outside the timed loop.
+	r, err := e.Run(l)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.Logf("\n%s", r)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := e.Run(l); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// Experiment benchmarks (paper tables and figures).
+
+func BenchmarkTable3NetShareViolations(b *testing.B)   { benchExperiment(b, "table3") }
+func BenchmarkFigure2SojournCDF(b *testing.B)          { benchExperiment(b, "figure2") }
+func BenchmarkTable4NetShareTransferCost(b *testing.B) { benchExperiment(b, "table4") }
+func BenchmarkTable5Violations(b *testing.B)           { benchExperiment(b, "table5") }
+func BenchmarkTable6MaxYDistance(b *testing.B)         { benchExperiment(b, "table6") }
+func BenchmarkFigure5CDFGrid(b *testing.B)             { benchExperiment(b, "figure5") }
+func BenchmarkTable7EventBreakdown(b *testing.B)       { benchExperiment(b, "table7") }
+func BenchmarkTable8Ablation(b *testing.B)             { benchExperiment(b, "table8") }
+func BenchmarkFigure6Scalability(b *testing.B)         { benchExperiment(b, "figure6") }
+func BenchmarkTable9TransferTime(b *testing.B)         { benchExperiment(b, "table9") }
+func BenchmarkTable10TransferFidelity(b *testing.B)    { benchExperiment(b, "table10") }
+func BenchmarkTable11Memorization(b *testing.B)        { benchExperiment(b, "table11") }
+func BenchmarkFigure7Interarrival(b *testing.B)        { benchExperiment(b, "figure7") }
+func BenchmarkAblationBatchGen(b *testing.B)           { benchExperiment(b, "ablation-batchgen") }
+func BenchmarkAblationLogScale(b *testing.B)           { benchExperiment(b, "ablation-logscale") }
+
+// Substrate micro-benchmarks.
+
+func BenchmarkTensorMatMul128(b *testing.B) {
+	rng := stats.NewRand(1)
+	x := tensor.Randn(128, 128, 1, rng)
+	y := tensor.Randn(128, 128, 1, rng)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		tensor.MatMul(x, y)
+	}
+}
+
+func BenchmarkTensorTrainStep(b *testing.B) {
+	// One forward+backward of a 2-block transformer over a 64-token stream.
+	d, err := synthetic.Generate(synthetic.Config{
+		Generation: events.Gen4G, Seed: 1,
+		UEs: map[events.DeviceType]int{events.Phone: 50}, Hours: 1, StartHour: 10,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	tok := cptgpt.FitTokenizer(d)
+	cfg := cptgpt.DefaultConfig()
+	m, err := cptgpt.NewModel(cfg, tok)
+	if err != nil {
+		b.Fatal(err)
+	}
+	var enc *tensor.Tensor
+	var tg *cptgpt.Targets
+	for i := range d.Streams {
+		if len(d.Streams[i].Events) >= 32 && len(d.Streams[i].Events) <= cfg.MaxLen {
+			if enc, tg, err = tok.EncodeStream(&d.Streams[i]); err != nil {
+				b.Fatal(err)
+			}
+			break
+		}
+	}
+	if enc == nil {
+		b.Skip("no suitably long stream")
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		h, err := m.Forward(enc, nil)
+		if err != nil {
+			b.Fatal(err)
+		}
+		loss := m.Loss(h, tg)
+		loss.Backward()
+	}
+}
+
+func BenchmarkCPTGPTGeneratePerStream(b *testing.B) {
+	l := lab(b)
+	m, err := l.CPT(events.Phone)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := m.Generate(cptgpt.GenOpts{NumStreams: 1, Device: events.Phone, Seed: uint64(i + 1)}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkSMMGenerate1000(b *testing.B) {
+	l := lab(b)
+	m, err := l.SMM(events.Phone, true)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := m.Generate(smm.GenOpts{NumStreams: 1000, Device: events.Phone, Seed: uint64(i)}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkReplayValidation(b *testing.B) {
+	d, err := synthetic.Generate(synthetic.Config{
+		Generation: events.Gen4G, Seed: 2,
+		UEs: map[events.DeviceType]int{events.Phone: 200}, Hours: 1, StartHour: 10,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		metrics.Replay(d)
+	}
+	b.ReportMetric(float64(d.NumEvents()), "events/op")
+}
+
+func BenchmarkTraceJSONLRoundTrip(b *testing.B) {
+	d, err := synthetic.Generate(synthetic.Config{
+		Generation: events.Gen4G, Seed: 3,
+		UEs: map[events.DeviceType]int{events.Phone: 100}, Hours: 1, StartHour: 10,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		var buf bytes.Buffer
+		if err := trace.WriteJSONL(&buf, d); err != nil {
+			b.Fatal(err)
+		}
+		if _, err := trace.ReadJSONL(&buf); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

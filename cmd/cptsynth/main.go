@@ -1,0 +1,94 @@
+// Command cptsynth samples a synthetic control-plane trace from a trained
+// model (CPT-GPT or NetShare) or from an SMM fit of a reference trace.
+//
+// Usage:
+//
+//	cptsynth -model cptgpt  -model-file model.bin -n 1000 -out synth.jsonl
+//	cptsynth -model netshare -model-file model.bin -n 1000 -out synth.jsonl
+//	cptsynth -model smm -k 16 -fit trace.jsonl -n 1000 -out synth.jsonl
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+
+	cptgen "cptgpt"
+	"cptgpt/internal/events"
+	"cptgpt/internal/netshare"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("cptsynth: ")
+
+	var (
+		model     = flag.String("model", "cptgpt", "generator: cptgpt, netshare or smm")
+		modelFile = flag.String("model-file", "model.bin", "trained model path (cptgpt/netshare)")
+		fit       = flag.String("fit", "", "reference trace to fit (smm)")
+		k         = flag.Int("k", 1, "SMM cluster count (1 = SMM-1)")
+		n         = flag.Int("n", 1000, "number of UE streams to synthesize")
+		device    = flag.String("device", "phone", "device label: phone, connected_car, tablet")
+		gen       = flag.String("gen", "4G", "generation (CSV fit inputs and netshare models)")
+		out       = flag.String("out", "synth.jsonl", "output trace path")
+		seed      = flag.Uint64("seed", 3, "random seed")
+	)
+	flag.Parse()
+
+	dev, err := events.ParseDeviceType(*device)
+	if err != nil {
+		log.Fatal(err)
+	}
+	g, err := events.ParseGeneration(*gen)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	var d *cptgen.Dataset
+	switch *model {
+	case "cptgpt":
+		m, err := cptgen.LoadCPTGPT(*modelFile)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if d, err = m.Generate(cptgen.CPTGPTGenOpts{NumStreams: *n, Device: dev, Seed: *seed}); err != nil {
+			log.Fatal(err)
+		}
+	case "netshare":
+		cfg := cptgen.DefaultNetShareConfig()
+		cfg.Generation = g
+		m, err := netshare.LoadFile(*modelFile, cfg)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if d, err = m.Generate(cptgen.NetShareGenOpts{NumStreams: *n, Device: dev, Seed: *seed}); err != nil {
+			log.Fatal(err)
+		}
+	case "smm":
+		if *fit == "" {
+			log.Fatal("-fit is required for -model smm")
+		}
+		ref, err := cptgen.LoadTrace(*fit, g)
+		if err != nil {
+			log.Fatal(err)
+		}
+		cfg := cptgen.DefaultSMMConfig()
+		cfg.K = *k
+		cfg.Seed = *seed
+		m, err := cptgen.FitSMM(ref, cfg)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("fitted SMM: %d clusters, %d sojourn CDFs\n", m.K(), m.NumCDFs())
+		if d, err = m.Generate(cptgen.SMMGenOpts{NumStreams: *n, Device: dev, Seed: *seed}); err != nil {
+			log.Fatal(err)
+		}
+	default:
+		log.Fatalf("unknown -model %q", *model)
+	}
+
+	if err := cptgen.SaveTrace(*out, d); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("wrote %s: %s\n", *out, d.Summarize())
+}

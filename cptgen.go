@@ -1,0 +1,230 @@
+// Package cptgen is the public API of the CPT-GPT reproduction: a toolkit
+// for generating, modeling and evaluating cellular network control-plane
+// traffic (CPT) without domain knowledge, after "High-Fidelity Cellular
+// Network Control-Plane Traffic Generation without Domain Knowledge"
+// (IMC 2024).
+//
+// The toolkit has four moving parts:
+//
+//   - Ground truth: GenerateGroundTruth synthesizes a realistic carrier-style
+//     workload (the stand-in for the paper's proprietary trace).
+//   - Generators: TrainCPTGPT (the paper's transformer), TrainNetShare (the
+//     GAN/LSTM baseline) and FitSMM (the semi-Markov baseline) learn a
+//     workload and synthesize arbitrary numbers of new UE streams.
+//   - Fidelity: Evaluate computes the paper's fidelity metrics (semantic
+//     violations, sojourn times, flow lengths, event breakdown) and
+//     Memorization audits training-data leakage.
+//   - Consumers: SimulateMCN runs a simulated mobile-core control-plane
+//     function over a trace; the replay sub-API drives a TCP server with
+//     paced traffic.
+//
+// Examples under examples/ exercise exactly this surface.
+package cptgen
+
+import (
+	"cptgpt/internal/cptgpt"
+	"cptgpt/internal/events"
+	"cptgpt/internal/mcn"
+	"cptgpt/internal/metrics"
+	"cptgpt/internal/netshare"
+	"cptgpt/internal/replaynet"
+	"cptgpt/internal/smm"
+	"cptgpt/internal/statemachine"
+	"cptgpt/internal/synthetic"
+	"cptgpt/internal/trace"
+)
+
+// Core data model.
+type (
+	// Dataset is a control-plane traffic dataset: one stream per UE.
+	Dataset = trace.Dataset
+	// Stream is one UE's time-ordered control-event sequence.
+	Stream = trace.Stream
+	// Event is a single (timestamp, event type) sample.
+	Event = trace.Event
+	// EventType identifies a 3GPP control-plane event (SRV_REQ, HO, …).
+	EventType = events.Type
+	// DeviceType classifies a UE (phone, connected car, tablet).
+	DeviceType = events.DeviceType
+	// Generation selects 4G or 5G semantics.
+	Generation = events.Generation
+)
+
+// Re-exported enumeration values.
+const (
+	Gen4G = events.Gen4G
+	Gen5G = events.Gen5G
+
+	Phone        = events.Phone
+	ConnectedCar = events.ConnectedCar
+	Tablet       = events.Tablet
+)
+
+// Ground-truth workload generation.
+type (
+	// GroundTruthConfig parameterizes the synthetic carrier workload.
+	GroundTruthConfig = synthetic.Config
+)
+
+// GenerateGroundTruth synthesizes a carrier-style control-plane workload:
+// per-UE behavioural simulation over the 3GPP state machine with latent
+// heterogeneity and diurnal drift. This substitutes for the paper's
+// proprietary trace (DESIGN.md §2).
+func GenerateGroundTruth(cfg GroundTruthConfig) (*Dataset, error) {
+	return synthetic.Generate(cfg)
+}
+
+// DefaultGroundTruthConfig returns a small 4G workload configuration.
+func DefaultGroundTruthConfig() GroundTruthConfig { return synthetic.DefaultConfig() }
+
+// CPT-GPT, the paper's transformer-based generator.
+type (
+	// CPTGPTConfig holds the transformer's hyperparameters.
+	CPTGPTConfig = cptgpt.Config
+	// CPTGPTModel is a trained CPT-GPT generator.
+	CPTGPTModel = cptgpt.Model
+	// CPTGPTTrainOpts tunes a training run.
+	CPTGPTTrainOpts = cptgpt.TrainOpts
+	// CPTGPTGenOpts tunes trace synthesis.
+	CPTGPTGenOpts = cptgpt.GenOpts
+)
+
+// DefaultCPTGPTConfig returns a CPU-sized CPT-GPT configuration.
+func DefaultCPTGPTConfig() CPTGPTConfig { return cptgpt.DefaultConfig() }
+
+// TrainCPTGPT fits a CPT-GPT model on the dataset from scratch: it fits the
+// multi-modal tokenizer, extracts the initial-event distribution and trains
+// the decoder-only transformer with next-token supervision.
+func TrainCPTGPT(d *Dataset, cfg CPTGPTConfig, opts CPTGPTTrainOpts) (*CPTGPTModel, error) {
+	tok := cptgpt.FitTokenizer(d)
+	m, err := cptgpt.NewModel(cfg, tok)
+	if err != nil {
+		return nil, err
+	}
+	if _, err := cptgpt.Train(m, d, opts); err != nil {
+		return nil, err
+	}
+	return m, nil
+}
+
+// FineTuneCPTGPT adapts a trained model to a drifted dataset (Design 3):
+// a cheap warm-start alternative to retraining from scratch.
+func FineTuneCPTGPT(m *CPTGPTModel, d *Dataset, opts CPTGPTTrainOpts) (*CPTGPTModel, error) {
+	c, err := m.Clone()
+	if err != nil {
+		return nil, err
+	}
+	if _, err := cptgpt.FineTune(c, d, opts); err != nil {
+		return nil, err
+	}
+	return c, nil
+}
+
+// LoadCPTGPT reads a model saved with (*CPTGPTModel).SaveFile.
+func LoadCPTGPT(path string) (*CPTGPTModel, error) { return cptgpt.LoadFile(path) }
+
+// NetShare baseline.
+type (
+	// NetShareConfig holds the GAN/LSTM baseline's hyperparameters.
+	NetShareConfig = netshare.Config
+	// NetShareModel is a trained NetShare generator.
+	NetShareModel = netshare.Model
+	// NetShareTrainOpts tunes GAN training.
+	NetShareTrainOpts = netshare.TrainOpts
+	// NetShareGenOpts tunes trace synthesis.
+	NetShareGenOpts = netshare.GenOpts
+)
+
+// DefaultNetShareConfig returns a CPU-sized NetShare configuration.
+func DefaultNetShareConfig() NetShareConfig { return netshare.DefaultConfig() }
+
+// TrainNetShare trains the GAN/LSTM baseline on the dataset.
+func TrainNetShare(d *Dataset, cfg NetShareConfig, opts NetShareTrainOpts) (*NetShareModel, error) {
+	m, err := netshare.New(cfg)
+	if err != nil {
+		return nil, err
+	}
+	if _, err := netshare.Train(m, d, opts); err != nil {
+		return nil, err
+	}
+	return m, nil
+}
+
+// SMM baseline.
+type (
+	// SMMConfig holds the semi-Markov baseline's parameters (K=1 for
+	// SMM-1, K>1 for the clustered variant).
+	SMMConfig = smm.Config
+	// SMMModel is a fitted semi-Markov generator.
+	SMMModel = smm.Model
+	// SMMGenOpts tunes trace synthesis.
+	SMMGenOpts = smm.GenOpts
+)
+
+// DefaultSMMConfig returns the SMM-1 configuration.
+func DefaultSMMConfig() SMMConfig { return smm.DefaultConfig() }
+
+// FitSMM fits the semi-Markov baseline on the dataset.
+func FitSMM(d *Dataset, cfg SMMConfig) (*SMMModel, error) { return smm.Fit(d, cfg) }
+
+// Fidelity evaluation.
+type (
+	// Fidelity bundles the paper's fidelity metrics.
+	Fidelity = metrics.Fidelity
+	// MemorizationResult reports the n-gram repetition audit.
+	MemorizationResult = metrics.MemorizationResult
+	// ReplayAggregate carries violation and sojourn accounting.
+	ReplayAggregate = statemachine.AggregateReplay
+)
+
+// Evaluate computes the full fidelity suite of synth against real.
+func Evaluate(real, synth *Dataset) Fidelity { return metrics.Evaluate(real, synth) }
+
+// ReplayStats replays a dataset against its generation's UE state machine.
+func ReplayStats(d *Dataset) *ReplayAggregate { return metrics.Replay(d) }
+
+// Memorization audits how many generated n-grams repeat training n-grams
+// within relative interarrival tolerance eps (§5.6).
+func Memorization(generated, training *Dataset, n int, eps float64) (MemorizationResult, error) {
+	return metrics.Memorization(generated, training, n, eps)
+}
+
+// Trace IO.
+
+// SaveTrace writes a dataset to path (.csv for CSV, otherwise JSONL).
+func SaveTrace(path string, d *Dataset) error { return trace.SaveFile(path, d) }
+
+// LoadTrace reads a dataset from path; gen is used only for CSV inputs.
+func LoadTrace(path string, gen Generation) (*Dataset, error) { return trace.LoadFile(path, gen) }
+
+// Downstream consumers.
+type (
+	// MCNConfig parameterizes the simulated mobile-core NF.
+	MCNConfig = mcn.Config
+	// MCNReport is the simulation output (load, latency, autoscaling).
+	MCNReport = mcn.Report
+	// ReplayServer is the TCP MCN frontend.
+	ReplayServer = replaynet.Server
+	// ReplayStatsReport is the TCP server's accounting.
+	ReplayStatsReport = replaynet.Stats
+	// ReplayOpts tunes a TCP replay run.
+	ReplayOpts = replaynet.ReplayOpts
+)
+
+// DefaultMCNConfig returns the default simulated-MCN configuration.
+func DefaultMCNConfig() MCNConfig { return mcn.DefaultConfig() }
+
+// SimulateMCN runs the simulated mobile-core control-plane function over
+// the dataset in virtual time.
+func SimulateMCN(d *Dataset, cfg MCNConfig) (*MCNReport, error) { return mcn.Run(d, cfg) }
+
+// ListenMCN starts a TCP MCN frontend (see internal/replaynet's protocol).
+func ListenMCN(addr string, gen Generation) (*ReplayServer, error) {
+	return replaynet.ListenAndServe(addr, gen)
+}
+
+// ReplayOverTCP paces a dataset's events onto a replaynet server and
+// returns the server's final stats.
+func ReplayOverTCP(addr string, d *Dataset, opts ReplayOpts) (ReplayStatsReport, error) {
+	return replaynet.Replay(addr, d, opts)
+}

@@ -1,0 +1,206 @@
+package cptgpt
+
+import (
+	"math"
+
+	"cptgpt/internal/nn"
+)
+
+// decoder is a tape-free incremental forward pass over the model with
+// per-block key/value caching. Autoregressive sampling recomputes only one
+// token per step instead of the whole prefix, which is what makes the
+// scalability experiment (Figure 6) tractable on a CPU. Its output is
+// verified against Model.Forward in the package tests.
+type decoder struct {
+	m   *Model
+	pos int
+	// kc/vc hold, per block, the cached keys/values: pos rows × DModel.
+	kc [][]float64
+	vc [][]float64
+	// scratch buffers reused across steps
+	x, q, k, v, att, ff []float64
+}
+
+// newDecoder creates an incremental decoder for m.
+func newDecoder(m *Model) *decoder {
+	d := &decoder{m: m}
+	d.kc = make([][]float64, len(m.BlocksNN))
+	d.vc = make([][]float64, len(m.BlocksNN))
+	dm := m.Cfg.DModel
+	d.x = make([]float64, dm)
+	d.q = make([]float64, dm)
+	d.k = make([]float64, dm)
+	d.v = make([]float64, dm)
+	d.att = make([]float64, dm)
+	d.ff = make([]float64, m.Cfg.MLPHidden)
+	return d
+}
+
+// headsOut carries the per-step raw head outputs.
+type headsOut struct {
+	eventLogits []float64
+	iaMean      float64
+	iaLogStd    float64 // NaN when the distribution head is disabled
+	stopLogits  [2]float64
+}
+
+// step consumes one token (d_token values) and returns the head outputs at
+// the new position. It panics if the position exceeds MaxLen.
+func (d *decoder) step(token []float64) headsOut {
+	m := d.m
+	dm := m.Cfg.DModel
+	if d.pos >= m.Cfg.MaxLen {
+		panic("cptgpt: decoder stepped past MaxLen")
+	}
+
+	// Token projection + positional embedding.
+	linearRow(d.x, token, m.InProj)
+	pe := m.PosEmb.Data[d.pos*dm : (d.pos+1)*dm]
+	for i := range d.x {
+		d.x[i] += pe[i]
+	}
+
+	tmp := make([]float64, dm)
+	for bi, b := range m.BlocksNN {
+		// Attention sub-layer (pre-norm, residual).
+		layerNormRow(tmp, d.x, b.LN1)
+		linearRow(d.q, tmp, b.Attn.Wq)
+		linearRow(d.k, tmp, b.Attn.Wk)
+		linearRow(d.v, tmp, b.Attn.Wv)
+		d.kc[bi] = append(d.kc[bi], d.k...)
+		d.vc[bi] = append(d.vc[bi], d.v...)
+		nPos := d.pos + 1
+		heads := b.Attn.Heads
+		dh := dm / heads
+		scale := 1 / math.Sqrt(float64(dh))
+		for h := 0; h < heads; h++ {
+			lo := h * dh
+			// scores over all cached positions for this head
+			scores := make([]float64, nPos)
+			maxv := math.Inf(-1)
+			for t := 0; t < nPos; t++ {
+				kRow := d.kc[bi][t*dm+lo : t*dm+lo+dh]
+				var s float64
+				for j := 0; j < dh; j++ {
+					s += d.q[lo+j] * kRow[j]
+				}
+				s *= scale
+				scores[t] = s
+				if s > maxv {
+					maxv = s
+				}
+			}
+			var sum float64
+			for t := range scores {
+				scores[t] = math.Exp(scores[t] - maxv)
+				sum += scores[t]
+			}
+			inv := 1 / sum
+			for j := 0; j < dh; j++ {
+				d.att[lo+j] = 0
+			}
+			for t := 0; t < nPos; t++ {
+				w := scores[t] * inv
+				vRow := d.vc[bi][t*dm+lo : t*dm+lo+dh]
+				for j := 0; j < dh; j++ {
+					d.att[lo+j] += w * vRow[j]
+				}
+			}
+		}
+		linearRow(tmp, d.att, b.Attn.Wo)
+		for i := range d.x {
+			d.x[i] += tmp[i]
+		}
+
+		// Feed-forward sub-layer (pre-norm, residual).
+		layerNormRow(tmp, d.x, b.LN2)
+		linearRowInto(d.ff, tmp, b.FF.In)
+		for i := range d.ff {
+			d.ff[i] = gelu(d.ff[i])
+		}
+		linearRowInto(tmp, d.ff, b.FF.Out)
+		for i := range d.x {
+			d.x[i] += tmp[i]
+		}
+	}
+
+	layerNormRow(tmp, d.x, m.Final)
+
+	var out headsOut
+	out.eventLogits = mlpRow(tmp, m.EventHd)
+	ia := mlpRow(tmp, m.IAHd)
+	out.iaMean = ia[0]
+	if m.Cfg.DistHead {
+		out.iaLogStd = math.Min(math.Max(ia[1], -6), 2)
+	} else {
+		out.iaLogStd = math.NaN()
+	}
+	stop := mlpRow(tmp, m.StopHd)
+	out.stopLogits = [2]float64{stop[0], stop[1]}
+
+	d.pos++
+	return out
+}
+
+// linearRow computes dst = row·W + b for a single row; dst must have
+// length = l.W.Cols and may not alias row.
+func linearRow(dst, row []float64, l *nn.Linear) {
+	linearRowInto(dst, row, l)
+}
+
+func linearRowInto(dst, row []float64, l *nn.Linear) {
+	cols := l.W.Cols
+	copy(dst, l.B.Data)
+	for k, x := range row {
+		if x == 0 {
+			continue
+		}
+		wRow := l.W.Data[k*cols : (k+1)*cols]
+		for j, w := range wRow {
+			dst[j] += x * w
+		}
+	}
+}
+
+// layerNormRow computes dst = LN(row) with l's gain and bias.
+func layerNormRow(dst, row []float64, l *nn.LayerNorm) {
+	n := float64(len(row))
+	var mu float64
+	for _, v := range row {
+		mu += v
+	}
+	mu /= n
+	var va float64
+	for _, v := range row {
+		d := v - mu
+		va += d * d
+	}
+	va /= n
+	istd := 1 / math.Sqrt(va+l.Eps)
+	for i, v := range row {
+		dst[i] = (v-mu)*istd*l.Gain.Data[i] + l.Bias.Data[i]
+	}
+}
+
+// mlpRow applies an MLP (ReLU between layers) to a single row.
+func mlpRow(row []float64, m *nn.MLP) []float64 {
+	cur := row
+	for i, l := range m.Layers {
+		next := make([]float64, l.W.Cols)
+		linearRowInto(next, cur, l)
+		if i+1 < len(m.Layers) {
+			for j := range next {
+				if next[j] < 0 {
+					next[j] = 0
+				}
+			}
+		}
+		cur = next
+	}
+	return cur
+}
+
+func gelu(x float64) float64 {
+	const c = 0.7978845608028654
+	return 0.5 * x * (1 + math.Tanh(c*(x+0.044715*x*x*x)))
+}

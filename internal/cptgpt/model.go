@@ -1,0 +1,220 @@
+package cptgpt
+
+import (
+	"fmt"
+	"math/rand/v2"
+
+	"cptgpt/internal/events"
+	"cptgpt/internal/nn"
+	"cptgpt/internal/stats"
+	"cptgpt/internal/tensor"
+)
+
+// Config holds the model and training hyperparameters. The paper's tuned
+// model uses 2 attention blocks, embedding dimension 128 and MLP hidden
+// size 1024 (725K parameters); the defaults here are scaled for CPU
+// training while preserving the architecture (see DESIGN.md §2).
+type Config struct {
+	// Generation selects the event vocabulary (and so the token dimension).
+	Generation events.Generation
+	// DModel is the attention hidden size (paper: 128).
+	DModel int
+	// Heads is the attention head count.
+	Heads int
+	// Blocks is the number of decoder blocks (paper: 2).
+	Blocks int
+	// MLPHidden is the per-block feed-forward hidden size (paper: 1024).
+	MLPHidden int
+	// HeadHidden is the hidden size of the three output MLP heads.
+	HeadHidden int
+	// MaxLen is the maximum stream length the model generates (paper: 500).
+	MaxLen int
+
+	// LR is the Adam learning rate.
+	LR float64
+	// Epochs is the number of passes over the training streams.
+	Epochs int
+	// AccumStreams is the number of streams whose gradients accumulate into
+	// one optimizer step.
+	AccumStreams int
+	// LossWeights weights the [event, interarrival, stop] losses in the
+	// total (the paper trains 1:1:1 and studies 3:1:1 / 1:3:1 / 1:1:3).
+	LossWeights [3]float64
+	// DistHead enables Design 2 (predict Gaussian parameters for the
+	// interarrival). Disabling it reproduces the Table 8 ablation where the
+	// head regresses a single scalar trained with MSE.
+	DistHead bool
+	// Dropout is applied inside blocks during training (0 disables).
+	Dropout float64
+	// Seed fixes initialization and training-order randomness.
+	Seed uint64
+}
+
+// DefaultConfig returns a CPU-sized configuration for 4G traffic.
+func DefaultConfig() Config {
+	return Config{
+		Generation:   events.Gen4G,
+		DModel:       32,
+		Heads:        4,
+		Blocks:       2,
+		MLPHidden:    64,
+		HeadHidden:   32,
+		MaxLen:       200,
+		LR:           3e-3,
+		Epochs:       4,
+		AccumStreams: 4,
+		LossWeights:  [3]float64{1, 1, 1},
+		DistHead:     true,
+		Seed:         7,
+	}
+}
+
+// Validate checks config consistency.
+func (c Config) Validate() error {
+	switch {
+	case c.DModel <= 0 || c.Heads <= 0 || c.Blocks <= 0:
+		return fmt.Errorf("cptgpt: DModel/Heads/Blocks must be positive")
+	case c.DModel%c.Heads != 0:
+		return fmt.Errorf("cptgpt: DModel %d must be divisible by Heads %d", c.DModel, c.Heads)
+	case c.MaxLen < 2:
+		return fmt.Errorf("cptgpt: MaxLen must be ≥ 2, got %d", c.MaxLen)
+	case c.LR <= 0:
+		return fmt.Errorf("cptgpt: LR must be positive, got %v", c.LR)
+	case c.Epochs <= 0:
+		return fmt.Errorf("cptgpt: Epochs must be positive, got %d", c.Epochs)
+	}
+	for i, w := range c.LossWeights {
+		if w < 0 {
+			return fmt.Errorf("cptgpt: LossWeights[%d] = %v must be non-negative", i, w)
+		}
+	}
+	return nil
+}
+
+// Model is the CPT-GPT network (Figure 3): a linear token projection plus
+// learned positional embeddings, a stack of causal decoder blocks, a final
+// layer norm and three MLP heads (event type, interarrival, stop flag).
+type Model struct {
+	Cfg Config
+	Tok Tokenizer
+
+	InProj   *nn.Linear     // d_token → d_model ("embedding" replacement)
+	PosEmb   *tensor.Tensor // MaxLen × d_model learned positions
+	BlocksNN []*nn.Block
+	Final    *nn.LayerNorm
+	EventHd  *nn.MLP // d_model → V logits
+	IAHd     *nn.MLP // d_model → 2 (mean, logStd) or 1 when !DistHead
+	StopHd   *nn.MLP // d_model → 2 logits
+
+	// InitialDist is the distribution of first-event types extracted from
+	// the training set and released with the model (§4.5).
+	InitialDist []float64
+}
+
+// NewModel builds an initialized model for the tokenizer's vocabulary.
+func NewModel(cfg Config, tok Tokenizer) (*Model, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	if tok.Gen != cfg.Generation {
+		return nil, fmt.Errorf("cptgpt: tokenizer generation %s does not match config %s", tok.Gen, cfg.Generation)
+	}
+	rng := stats.NewRand(cfg.Seed)
+	m := &Model{Cfg: cfg, Tok: tok}
+	m.InProj = nn.NewLinear(tok.Dim(), cfg.DModel, rng)
+	m.PosEmb = tensor.Randn(cfg.MaxLen, cfg.DModel, 0.02, rng).Param()
+	for i := 0; i < cfg.Blocks; i++ {
+		m.BlocksNN = append(m.BlocksNN, nn.NewBlock(cfg.DModel, cfg.Heads, cfg.MLPHidden, rng))
+	}
+	m.Final = nn.NewLayerNorm(cfg.DModel)
+	m.EventHd = nn.NewMLP(rng, cfg.DModel, cfg.HeadHidden, tok.V())
+	iaOut := 2
+	if !cfg.DistHead {
+		iaOut = 1
+	}
+	m.IAHd = nn.NewMLP(rng, cfg.DModel, cfg.HeadHidden, iaOut)
+	m.StopHd = nn.NewMLP(rng, cfg.DModel, cfg.HeadHidden, 2)
+	m.InitialDist = make([]float64, tok.V())
+	for i := range m.InitialDist {
+		m.InitialDist[i] = 1 / float64(tok.V())
+	}
+	return m, nil
+}
+
+// Params returns all trainable parameters in a stable order.
+func (m *Model) Params() []*tensor.Tensor {
+	ps := m.InProj.Params()
+	ps = append(ps, m.PosEmb)
+	for _, b := range m.BlocksNN {
+		ps = append(ps, b.Params()...)
+	}
+	ps = append(ps, m.Final.Params()...)
+	ps = append(ps, m.EventHd.Params()...)
+	ps = append(ps, m.IAHd.Params()...)
+	ps = append(ps, m.StopHd.Params()...)
+	return ps
+}
+
+// NumParams returns the scalar parameter count.
+func (m *Model) NumParams() int { return nn.NumParams(m.Params()) }
+
+// Heads bundles the per-position head outputs of a forward pass.
+type Heads struct {
+	// EventLogits is T×V.
+	EventLogits *tensor.Tensor
+	// IAMean is T×1 (scaled space).
+	IAMean *tensor.Tensor
+	// IALogStd is T×1; nil when the distribution head is disabled.
+	IALogStd *tensor.Tensor
+	// StopLogits is T×2.
+	StopLogits *tensor.Tensor
+}
+
+// Forward runs the network over a token matrix (T×d_token) and returns the
+// three head outputs for every position. When dropRng is non-nil, dropout
+// is active (training mode).
+func (m *Model) Forward(tokens *tensor.Tensor, dropRng *rand.Rand) (*Heads, error) {
+	t := tokens.Rows
+	if t > m.Cfg.MaxLen {
+		return nil, fmt.Errorf("cptgpt: sequence length %d exceeds MaxLen %d", t, m.Cfg.MaxLen)
+	}
+	x := m.InProj.Forward(tokens)
+	x = tensor.Add(x, tensor.SliceRows(m.PosEmb, 0, t))
+	for _, b := range m.BlocksNN {
+		x = b.Forward(x)
+		if m.Cfg.Dropout > 0 && dropRng != nil {
+			x = tensor.Dropout(x, m.Cfg.Dropout, dropRng)
+		}
+	}
+	x = m.Final.Forward(x)
+
+	h := &Heads{
+		EventLogits: m.EventHd.Forward(x),
+		StopLogits:  m.StopHd.Forward(x),
+	}
+	ia := m.IAHd.Forward(x)
+	if m.Cfg.DistHead {
+		h.IAMean = tensor.SliceCols(ia, 0, 1)
+		// Clamp log-std to a sane range to keep the NLL well-conditioned.
+		h.IALogStd = tensor.Clamp(tensor.SliceCols(ia, 1, 2), -6, 2)
+	} else {
+		h.IAMean = ia
+	}
+	return h, nil
+}
+
+// Loss computes the weighted multi-field training loss for one encoded
+// stream (Design 2: Gaussian NLL for the numeric field, cross-entropy for
+// the categorical fields).
+func (m *Model) Loss(h *Heads, tg *Targets) *tensor.Tensor {
+	w := m.Cfg.LossWeights
+	evLoss := tensor.CrossEntropy(h.EventLogits, tg.Event)
+	stopLoss := tensor.CrossEntropy(h.StopLogits, tg.Stop)
+	var iaLoss *tensor.Tensor
+	if m.Cfg.DistHead {
+		iaLoss = tensor.GaussianNLL(h.IAMean, h.IALogStd, tg.IA, tg.IAMask)
+	} else {
+		iaLoss = tensor.MSE(h.IAMean, tg.IA, tg.IAMask)
+	}
+	return tensor.AddScalars([]float64{w[0], w[1], w[2]}, evLoss, iaLoss, stopLoss)
+}

@@ -1,0 +1,152 @@
+package cptgpt
+
+import (
+	"fmt"
+	"math"
+	"math/rand/v2"
+	"runtime"
+	"sync"
+
+	"cptgpt/internal/events"
+	"cptgpt/internal/stats"
+	"cptgpt/internal/trace"
+)
+
+// GenOpts parameterizes synthetic dataset generation.
+type GenOpts struct {
+	// NumStreams is the UE population to synthesize (§4.5: the user invokes
+	// the model once per UE).
+	NumStreams int
+	// Device labels the generated streams (one CPT-GPT model is trained per
+	// device type, as in the paper's evaluation).
+	Device events.DeviceType
+	// Seed fixes sampling randomness.
+	Seed uint64
+	// Temperature scales event/stop logits at sampling time (1 = faithful).
+	Temperature float64
+	// Workers bounds sampling concurrency; 0 means GOMAXPROCS.
+	Workers int
+	// StartWindow, when positive, offsets each stream's start uniformly in
+	// [0, StartWindow) seconds so downstream consumers (e.g. an MCN) do
+	// not see a synchronized t=0 attach storm. Interarrivals, sojourns and
+	// flow lengths are unaffected.
+	StartWindow float64
+}
+
+// Generate synthesizes a dataset of NumStreams independent UE streams by
+// autoregressive decoding. Each stream starts from a bootstrap token whose
+// event type is drawn from the model's released initial-event-type
+// distribution, with interarrival and stop flag zero (§4.5), and decoding
+// runs until the model emits a token with stop flag 1 or MaxLen is reached.
+func (m *Model) Generate(opts GenOpts) (*trace.Dataset, error) {
+	if opts.NumStreams <= 0 {
+		return nil, fmt.Errorf("cptgpt: NumStreams must be positive, got %d", opts.NumStreams)
+	}
+	if opts.Temperature <= 0 {
+		opts.Temperature = 1
+	}
+	workers := opts.Workers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > opts.NumStreams {
+		workers = opts.NumStreams
+	}
+
+	init, err := stats.NewCategorical(m.InitialDist)
+	if err != nil {
+		return nil, fmt.Errorf("cptgpt: invalid initial-event distribution: %w", err)
+	}
+
+	streams := make([]trace.Stream, opts.NumStreams)
+	var wg sync.WaitGroup
+	jobs := make(chan int)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range jobs {
+				rng := stats.NewRand(opts.Seed ^ (uint64(i)+1)*0x9e3779b97f4a7c15)
+				streams[i] = m.sampleStream(i, opts, init, rng)
+			}
+		}()
+	}
+	for i := 0; i < opts.NumStreams; i++ {
+		jobs <- i
+	}
+	close(jobs)
+	wg.Wait()
+
+	return &trace.Dataset{Generation: m.Cfg.Generation, Streams: streams}, nil
+}
+
+// sampleStream decodes one UE stream.
+func (m *Model) sampleStream(idx int, opts GenOpts, init *stats.Categorical, rng *rand.Rand) trace.Stream {
+	vocab := m.Tok.Vocab()
+	dec := newDecoder(m)
+
+	s := trace.Stream{
+		UEID:   fmt.Sprintf("gen-%s-%06d", opts.Device, idx),
+		Device: opts.Device,
+	}
+
+	// Bootstrap token: sampled initial event, interarrival 0, stop 0.
+	evIdx := init.Sample(rng)
+	tok := make([]float64, m.Tok.Dim())
+	m.Tok.writeToken(tok, evIdx, 0, 0)
+	t := 0.0
+	if opts.StartWindow > 0 {
+		t = rng.Float64() * opts.StartWindow
+	}
+	s.Events = append(s.Events, trace.Event{Time: t, Type: vocab[evIdx]})
+
+	for len(s.Events) < m.Cfg.MaxLen {
+		out := dec.step(tok)
+
+		nextEv := sampleLogits(out.eventLogits, opts.Temperature, rng)
+		var scaled float64
+		if m.Cfg.DistHead {
+			std := math.Exp(out.iaLogStd)
+			scaled = out.iaMean + std*rng.NormFloat64()
+		} else {
+			// Ablation (Table 8, "No dist. pred."): deterministic scalar.
+			scaled = out.iaMean
+		}
+		scaled = math.Min(math.Max(scaled, 0), 1)
+		ia := m.Tok.UnscaleIA(scaled)
+		stopIdx := sampleLogits(out.stopLogits[:], opts.Temperature, rng)
+
+		t += ia
+		s.Events = append(s.Events, trace.Event{Time: t, Type: vocab[nextEv]})
+		if stopIdx == 1 {
+			break
+		}
+		m.Tok.writeToken(tok, nextEv, scaled, stopIdx)
+	}
+	return s
+}
+
+// sampleLogits draws an index from softmax(logits / temperature).
+func sampleLogits(logits []float64, temp float64, rng *rand.Rand) int {
+	maxv := math.Inf(-1)
+	for _, v := range logits {
+		if v/temp > maxv {
+			maxv = v / temp
+		}
+	}
+	var sum float64
+	probs := make([]float64, len(logits))
+	for i, v := range logits {
+		p := math.Exp(v/temp - maxv)
+		probs[i] = p
+		sum += p
+	}
+	u := rng.Float64() * sum
+	for i, p := range probs {
+		u -= p
+		if u < 0 {
+			return i
+		}
+	}
+	return len(logits) - 1
+}

@@ -1,0 +1,174 @@
+// Package cptgpt implements the paper's primary contribution: CPT-GPT, a
+// decoder-only transformer that synthesizes cellular control-plane traffic
+// without domain knowledge.
+//
+// The three design elements of §4.4 are all here:
+//
+//   - Design 1 — multi-modal tokenization: each sample becomes the
+//     concatenation of an interarrival sub-token (log-scaled, min-max
+//     normalized), a one-hot event-type sub-token and a one-hot stop-flag
+//     sub-token; a linear layer replaces the NLP embedding table.
+//   - Design 2 — distribution-parameter output: the numeric interarrival
+//     head predicts a (mean, log-std) pair trained with Gaussian NLL and
+//     sampled at inference, instead of a deterministic scalar.
+//   - Design 3 — transfer learning: models warm-start from another hour's
+//     weights and fine-tune, which is how hourly model ensembles are built.
+package cptgpt
+
+import (
+	"fmt"
+	"math"
+
+	"cptgpt/internal/events"
+	"cptgpt/internal/tensor"
+	"cptgpt/internal/trace"
+)
+
+// Tokenizer converts between streams and the multi-modal token space of
+// Design 1. A token is the concatenation
+//
+//	[ interarrival (1) | event one-hot (V) | stop one-hot (2) ]
+//
+// giving dimension V+3 (9 for the 4G vocabulary, as in Figure 3).
+type Tokenizer struct {
+	// Gen fixes the event vocabulary.
+	Gen events.Generation
+	// MinLog and MaxLog are the dataset-wide bounds of log1p(interarrival)
+	// used for min-max scaling into [0, 1].
+	MinLog, MaxLog float64
+	// LogScale disables the log1p transform when false (kept for the
+	// Figure 7 companion ablation; the paper always uses log scaling).
+	LogScale bool
+}
+
+// FitTokenizer scans the dataset's interarrival times and returns a
+// tokenizer whose scaling covers them.
+func FitTokenizer(d *trace.Dataset) Tokenizer {
+	tk := Tokenizer{Gen: d.Generation, MinLog: math.Inf(1), MaxLog: math.Inf(-1), LogScale: true}
+	for i := range d.Streams {
+		ia := d.Streams[i].Interarrivals()
+		for _, x := range ia[min(len(ia), 1):] {
+			l := math.Log1p(math.Max(x, 0))
+			if l < tk.MinLog {
+				tk.MinLog = l
+			}
+			if l > tk.MaxLog {
+				tk.MaxLog = l
+			}
+		}
+	}
+	if math.IsInf(tk.MinLog, 1) { // no interarrivals at all
+		tk.MinLog, tk.MaxLog = 0, 1
+	}
+	if tk.MaxLog-tk.MinLog < 1e-9 {
+		tk.MaxLog = tk.MinLog + 1
+	}
+	return tk
+}
+
+// Vocab returns the tokenizer's event vocabulary.
+func (tk Tokenizer) Vocab() []events.Type { return events.Vocabulary(tk.Gen) }
+
+// V returns the vocabulary size.
+func (tk Tokenizer) V() int { return len(events.Vocabulary(tk.Gen)) }
+
+// Dim returns the token dimension d_token = 1 + V + 2.
+func (tk Tokenizer) Dim() int { return 1 + tk.V() + 2 }
+
+// ScaleIA maps an interarrival time (seconds) to the model's [0, 1] space.
+func (tk Tokenizer) ScaleIA(x float64) float64 {
+	v := math.Max(x, 0)
+	if tk.LogScale {
+		v = math.Log1p(v)
+	}
+	s := (v - tk.MinLog) / (tk.MaxLog - tk.MinLog)
+	return math.Min(math.Max(s, 0), 1)
+}
+
+// UnscaleIA inverts ScaleIA (clamping into the fitted range first).
+func (tk Tokenizer) UnscaleIA(s float64) float64 {
+	s = math.Min(math.Max(s, 0), 1)
+	v := tk.MinLog + s*(tk.MaxLog-tk.MinLog)
+	if tk.LogScale {
+		return math.Expm1(v)
+	}
+	return v
+}
+
+// Targets holds the next-token training targets aligned with an input token
+// matrix of T rows: row t predicts sample t+1's fields.
+type Targets struct {
+	// Event is the vocabulary index of the next sample's event type.
+	Event []int
+	// IA is the next sample's scaled interarrival.
+	IA []float64
+	// IAMask marks rows whose IA target participates in the loss (all true
+	// in the standard encoding; kept explicit for padding-free batching).
+	IAMask []bool
+	// Stop is 1 when the next sample is the last of the stream, else 0.
+	Stop []int
+}
+
+// EncodeStream converts a stream of length L ≥ 2 into an input token matrix
+// of T = L−1 rows plus aligned next-token targets. The first token carries
+// interarrival 0 and stop 0 (matching §4.5's prompt construction); the final
+// sample appears only as a target, with its stop flag set to 1.
+//
+// Streams shorter than 2 events or containing events outside the
+// generation's vocabulary yield an error.
+func (tk Tokenizer) EncodeStream(s *trace.Stream) (*tensor.Tensor, *Targets, error) {
+	l := len(s.Events)
+	if l < 2 {
+		return nil, nil, fmt.Errorf("cptgpt: stream %s has length %d; streams of length 1 are excluded from training", s.UEID, l)
+	}
+	d := tk.Dim()
+	t := l - 1
+	in := tensor.New(t, d)
+	tg := &Targets{
+		Event:  make([]int, t),
+		IA:     make([]float64, t),
+		IAMask: make([]bool, t),
+		Stop:   make([]int, t),
+	}
+	ia := s.Interarrivals()
+	for i := 0; i < t; i++ {
+		idx := events.VocabIndex(tk.Gen, s.Events[i].Type)
+		if idx < 0 {
+			return nil, nil, fmt.Errorf("cptgpt: stream %s event %d (%s) not in %s vocabulary", s.UEID, i, s.Events[i].Type, tk.Gen)
+		}
+		tk.writeToken(in.Data[i*d:(i+1)*d], idx, tk.ScaleIA(ia[i]), 0)
+		if i == 0 {
+			in.Data[i*d] = 0 // first token's interarrival is 0 by convention
+		}
+		nidx := events.VocabIndex(tk.Gen, s.Events[i+1].Type)
+		if nidx < 0 {
+			return nil, nil, fmt.Errorf("cptgpt: stream %s event %d (%s) not in %s vocabulary", s.UEID, i+1, s.Events[i+1].Type, tk.Gen)
+		}
+		tg.Event[i] = nidx
+		tg.IA[i] = tk.ScaleIA(ia[i+1])
+		tg.IAMask[i] = true
+		if i+1 == l-1 {
+			tg.Stop[i] = 1
+		}
+	}
+	return in, tg, nil
+}
+
+// writeToken fills one token row: [ia | one-hot event | one-hot stop].
+func (tk Tokenizer) writeToken(row []float64, eventIdx int, scaledIA float64, stop int) {
+	for i := range row {
+		row[i] = 0
+	}
+	row[0] = scaledIA
+	row[1+eventIdx] = 1
+	row[1+tk.V()+stop] = 1
+}
+
+// AppendToken grows a token matrix by one row (used by autoregressive
+// sampling). data is the backing slice; it returns the new backing slice.
+func (tk Tokenizer) AppendToken(data []float64, eventIdx int, scaledIA float64, stop int) []float64 {
+	d := tk.Dim()
+	row := make([]float64, d)
+	tk.writeToken(row, eventIdx, scaledIA, stop)
+	return append(data, row...)
+}

@@ -1,0 +1,59 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestPctFormatting(t *testing.T) {
+	if got := pct(0.123456); got != "12.35%" {
+		t.Fatalf("pct = %q", got)
+	}
+	if got := pct3(0.0000412); got != "0.004%" {
+		t.Fatalf("pct3 = %q", got)
+	}
+	if got := signedPct(-0.005); got != "-0.50%" {
+		t.Fatalf("signedPct = %q", got)
+	}
+	if got := signedPct(0.005); got != "+0.50%" {
+		t.Fatalf("signedPct = %q", got)
+	}
+}
+
+func TestCdfDeciles(t *testing.T) {
+	xs := []float64{5, 1, 4, 2, 3} // sorted: 1..5
+	got := cdfDeciles(xs, []float64{0, 0.5, 1})
+	if got[0] != 1 || got[1] != 3 || got[2] != 5 {
+		t.Fatalf("deciles %v", got)
+	}
+	empty := cdfDeciles(nil, []float64{0.5})
+	if empty[0] != 0 {
+		t.Fatalf("empty deciles %v", empty)
+	}
+}
+
+func TestQsRowHeaderAligned(t *testing.T) {
+	h := qsHeader("curve")
+	r := qsRow("real", []float64{1, 2, 3, 4, 5, 6, 7, 8, 9, 10}, secs)
+	if len(h) != len(r) {
+		t.Fatalf("header %d cells, row %d cells", len(h), len(r))
+	}
+	if h[0] != "curve" || r[0] != "real" {
+		t.Fatal("labels misplaced")
+	}
+}
+
+func TestReportString(t *testing.T) {
+	r := &Report{
+		ID:      "tableX",
+		Caption: "demo",
+		Tables:  []*Table{{Title: "t", Header: []string{"a"}, Rows: [][]string{{"1"}}}},
+		Notes:   []string{"a note"},
+	}
+	out := r.String()
+	for _, want := range []string{"tableX", "demo", "a note", "1"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("report missing %q:\n%s", want, out)
+		}
+	}
+}

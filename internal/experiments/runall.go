@@ -1,0 +1,61 @@
+package experiments
+
+import "fmt"
+
+// Experiment pairs an id with its runner.
+type Experiment struct {
+	ID   string
+	Run  func(*Lab) (*Report, error)
+	Slow bool // involves extra model training beyond the shared lab
+}
+
+// All returns every experiment in presentation order (the order of the
+// paper's evaluation section).
+func All() []Experiment {
+	return []Experiment{
+		{ID: "table3", Run: Table3},
+		{ID: "figure2", Run: Figure2},
+		{ID: "table4", Run: Table4, Slow: true},
+		{ID: "table5", Run: Table5},
+		{ID: "table6", Run: Table6},
+		{ID: "figure5", Run: Figure5},
+		{ID: "table7", Run: Table7},
+		{ID: "table8", Run: Table8, Slow: true},
+		{ID: "figure6", Run: Figure6},
+		{ID: "table9", Run: Table9, Slow: true},
+		{ID: "table10", Run: Table10, Slow: true},
+		{ID: "table11", Run: Table11},
+		{ID: "figure7", Run: Figure7},
+		{ID: "ablation-batchgen", Run: TableNetShareBatchGen, Slow: true},
+		{ID: "ablation-logscale", Run: TableLogScale, Slow: true},
+	}
+}
+
+// Lookup returns the experiment with the given id.
+func Lookup(id string) (Experiment, error) {
+	for _, e := range All() {
+		if e.ID == id {
+			return e, nil
+		}
+	}
+	return Experiment{}, fmt.Errorf("experiments: unknown experiment %q", id)
+}
+
+// RunAll executes every experiment against one shared lab, returning the
+// reports in order. When skipSlow is true, experiments that train extra
+// models (timing, ablations) are skipped.
+func RunAll(l *Lab, skipSlow bool) ([]*Report, error) {
+	var out []*Report
+	for _, e := range All() {
+		if skipSlow && e.Slow {
+			continue
+		}
+		l.logf("running %s", e.ID)
+		r, err := e.Run(l)
+		if err != nil {
+			return out, fmt.Errorf("experiments: %s: %w", e.ID, err)
+		}
+		out = append(out, r)
+	}
+	return out, nil
+}

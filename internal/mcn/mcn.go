@@ -1,0 +1,276 @@
+// Package mcn simulates a mobile-core-network control-plane function (an
+// MME/AMF-like event processor) consuming a control-plane traffic trace.
+// It is the downstream application substrate motivating the paper (§2.2):
+// evaluating MCN designs — throughput, latency, autoscaling — requires
+// realistic control-plane workloads, and this simulator is what the
+// examples drive with synthesized traffic.
+//
+// The simulation is event-driven in virtual time: all streams' events merge
+// into one time-ordered arrival sequence; a pool of NF instances serves
+// them with per-event-type service costs; an optional autoscaler resizes
+// the pool per window against a target utilization. Per-UE state is tracked
+// with the 3GPP state machine, and semantically invalid events are rejected
+// — which is how a stateful MCN would behave, and why the paper insists
+// only semantically correct traces are usable downstream.
+package mcn
+
+import (
+	"container/heap"
+	"fmt"
+	"math"
+	"sort"
+
+	"cptgpt/internal/events"
+	"cptgpt/internal/statemachine"
+	"cptgpt/internal/trace"
+)
+
+// Config parameterizes the MCN simulation.
+type Config struct {
+	// BaseInstances is the initial NF instance count (parallel servers).
+	BaseInstances int
+	// AutoScale enables per-window pool resizing.
+	AutoScale bool
+	// TargetUtil is the autoscaler's utilization set-point in (0, 1).
+	TargetUtil float64
+	// Window is the autoscaler/metering window in seconds.
+	Window float64
+	// ServiceCost maps each event type to its service time in seconds;
+	// types absent from the map use DefaultServiceCost.
+	ServiceCost map[events.Type]float64
+	// DefaultServiceCost is the fallback service time in seconds.
+	DefaultServiceCost float64
+	// MaxInstances bounds the autoscaler.
+	MaxInstances int
+}
+
+// DefaultConfig returns a configuration with 3GPP-flavoured relative costs:
+// attach/detach are heavyweight (authentication, session setup), service
+// requests and releases moderate, handovers and TAUs light.
+func DefaultConfig() Config {
+	return Config{
+		BaseInstances: 2,
+		AutoScale:     true,
+		TargetUtil:    0.6,
+		Window:        60,
+		ServiceCost: map[events.Type]float64{
+			events.Attach:         0.020,
+			events.Register:       0.020,
+			events.Detach:         0.010,
+			events.Deregister:     0.010,
+			events.ServiceRequest: 0.005,
+			events.S1ConnRel:      0.003,
+			events.ANRel:          0.003,
+			events.Handover:       0.004,
+			events.TAU:            0.002,
+		},
+		DefaultServiceCost: 0.005,
+		MaxInstances:       64,
+	}
+}
+
+// Validate checks the configuration.
+func (c Config) Validate() error {
+	switch {
+	case c.BaseInstances < 1:
+		return fmt.Errorf("mcn: BaseInstances must be ≥ 1, got %d", c.BaseInstances)
+	case c.AutoScale && (c.TargetUtil <= 0 || c.TargetUtil >= 1):
+		return fmt.Errorf("mcn: TargetUtil must be in (0,1), got %v", c.TargetUtil)
+	case c.Window <= 0:
+		return fmt.Errorf("mcn: Window must be positive, got %v", c.Window)
+	case c.DefaultServiceCost <= 0:
+		return fmt.Errorf("mcn: DefaultServiceCost must be positive, got %v", c.DefaultServiceCost)
+	case c.MaxInstances < c.BaseInstances:
+		return fmt.Errorf("mcn: MaxInstances %d below BaseInstances %d", c.MaxInstances, c.BaseInstances)
+	}
+	return nil
+}
+
+// WindowStat is one metering window's aggregate.
+type WindowStat struct {
+	Start     float64
+	Arrivals  int
+	Util      float64
+	Instances int
+}
+
+// Report is the simulation output.
+type Report struct {
+	// Events is the number of arrivals processed; Rejected counts events
+	// dropped for violating the UE state machine.
+	Events   int
+	Rejected int
+	// MeanLatencySec / P95LatencySec / P99LatencySec summarize the
+	// queueing + service latency of accepted events.
+	MeanLatencySec float64
+	P95LatencySec  float64
+	P99LatencySec  float64
+	// PeakRate is the highest per-window arrival rate (events/s).
+	PeakRate float64
+	// PeakConnectedUEs is the maximum number of UEs simultaneously in the
+	// CONNECTED top-level state — the per-UE state memory a stateful MCN
+	// must hold (§3.2 C3).
+	PeakConnectedUEs int
+	// FinalInstances is the instance count at the end of the run;
+	// MaxInstancesUsed is the autoscaler's high-water mark.
+	FinalInstances   int
+	MaxInstancesUsed int
+	// Windows carries the per-window history (for autoscaling plots).
+	Windows []WindowStat
+}
+
+// arrival is one merged trace event.
+type arrival struct {
+	t  float64
+	ue int
+	ev events.Type
+}
+
+// serverHeap is a min-heap of per-instance next-free times.
+type serverHeap []float64
+
+func (h serverHeap) Len() int            { return len(h) }
+func (h serverHeap) Less(i, j int) bool  { return h[i] < h[j] }
+func (h serverHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
+func (h *serverHeap) Push(x interface{}) { *h = append(*h, x.(float64)) }
+func (h *serverHeap) Pop() interface{} {
+	old := *h
+	n := len(old)
+	x := old[n-1]
+	*h = old[:n-1]
+	return x
+}
+
+// Run simulates the MCN over the dataset and returns the report.
+func Run(d *trace.Dataset, cfg Config) (*Report, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	// Merge arrivals.
+	var arr []arrival
+	for ue := range d.Streams {
+		for _, e := range d.Streams[ue].Events {
+			arr = append(arr, arrival{t: e.Time, ue: ue, ev: e.Type})
+		}
+	}
+	sort.Slice(arr, func(i, j int) bool { return arr[i].t < arr[j].t })
+	if len(arr) == 0 {
+		return &Report{FinalInstances: cfg.BaseInstances}, nil
+	}
+
+	machine := statemachine.New(d.Generation)
+	ueState := make([]statemachine.State, len(d.Streams))
+	ueBoot := make([]bool, len(d.Streams))
+
+	servers := make(serverHeap, cfg.BaseInstances)
+	heap.Init(&servers)
+	instances := cfg.BaseInstances
+	maxInstances := instances
+
+	rep := &Report{}
+	var latencies []float64
+	connected := 0
+	winStart := arr[0].t
+	winArrivals := 0
+	var winBusy float64
+
+	closeWindow := func(end float64) {
+		dur := end - winStart
+		if dur <= 0 {
+			dur = cfg.Window
+		}
+		util := winBusy / (dur * float64(instances))
+		rate := float64(winArrivals) / dur
+		rep.Windows = append(rep.Windows, WindowStat{Start: winStart, Arrivals: winArrivals, Util: util, Instances: instances})
+		if rate > rep.PeakRate {
+			rep.PeakRate = rate
+		}
+		if cfg.AutoScale {
+			want := int(math.Ceil(util / cfg.TargetUtil * float64(instances)))
+			if want < cfg.BaseInstances {
+				want = cfg.BaseInstances
+			}
+			if want > cfg.MaxInstances {
+				want = cfg.MaxInstances
+			}
+			for instances < want {
+				heap.Push(&servers, end)
+				instances++
+			}
+			for instances > want && len(servers) > 0 {
+				// Retire the soonest-free server.
+				heap.Pop(&servers)
+				instances--
+			}
+			if instances > maxInstances {
+				maxInstances = instances
+			}
+		}
+		winStart = end
+		winArrivals = 0
+		winBusy = 0
+	}
+
+	for _, a := range arr {
+		for a.t >= winStart+cfg.Window {
+			closeWindow(winStart + cfg.Window)
+		}
+		winArrivals++
+		rep.Events++
+
+		// Stateful admission: replay semantics with bootstrap heuristic.
+		prevTop := statemachine.Top(ueState[a.ue])
+		if !ueBoot[a.ue] {
+			if st, ok := machine.Bootstrap(a.ev); ok {
+				ueState[a.ue] = st
+				ueBoot[a.ue] = true
+			}
+			// Pre-bootstrap events are admitted without state checks.
+		} else {
+			next, ok := machine.Step(ueState[a.ue], a.ev)
+			if !ok {
+				rep.Rejected++
+				continue
+			}
+			ueState[a.ue] = next
+		}
+		if top := statemachine.Top(ueState[a.ue]); top != prevTop {
+			switch {
+			case top == statemachine.TopConnected:
+				connected++
+				if connected > rep.PeakConnectedUEs {
+					rep.PeakConnectedUEs = connected
+				}
+			case prevTop == statemachine.TopConnected:
+				connected--
+			}
+		}
+
+		// Queueing: earliest-free server takes the job.
+		cost := cfg.ServiceCost[a.ev]
+		if cost == 0 {
+			cost = cfg.DefaultServiceCost
+		}
+		free := heap.Pop(&servers).(float64)
+		start := math.Max(free, a.t)
+		finish := start + cost
+		heap.Push(&servers, finish)
+		latencies = append(latencies, finish-a.t)
+		winBusy += cost
+	}
+	closeWindow(winStart + cfg.Window)
+
+	if len(latencies) > 0 {
+		sort.Float64s(latencies)
+		var sum float64
+		for _, l := range latencies {
+			sum += l
+		}
+		rep.MeanLatencySec = sum / float64(len(latencies))
+		rep.P95LatencySec = latencies[int(0.95*float64(len(latencies)-1))]
+		rep.P99LatencySec = latencies[int(0.99*float64(len(latencies)-1))]
+	}
+	rep.FinalInstances = instances
+	rep.MaxInstancesUsed = maxInstances
+	return rep, nil
+}

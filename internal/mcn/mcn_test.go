@@ -1,0 +1,155 @@
+package mcn
+
+import (
+	"testing"
+
+	"cptgpt/internal/events"
+	"cptgpt/internal/synthetic"
+	"cptgpt/internal/trace"
+)
+
+func workload(t *testing.T, ues int) *trace.Dataset {
+	t.Helper()
+	d, err := synthetic.Generate(synthetic.Config{
+		Generation: events.Gen4G,
+		Seed:       1,
+		UEs:        map[events.DeviceType]int{events.Phone: ues},
+		Hours:      1,
+		StartHour:  12,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return d
+}
+
+func TestConfigValidate(t *testing.T) {
+	bad := []func(*Config){
+		func(c *Config) { c.BaseInstances = 0 },
+		func(c *Config) { c.TargetUtil = 1.5 },
+		func(c *Config) { c.Window = 0 },
+		func(c *Config) { c.DefaultServiceCost = 0 },
+		func(c *Config) { c.MaxInstances = 0 },
+	}
+	for i, mut := range bad {
+		cfg := DefaultConfig()
+		mut(&cfg)
+		if err := cfg.Validate(); err == nil {
+			t.Fatalf("case %d: expected error", i)
+		}
+	}
+	if err := DefaultConfig().Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunCleanWorkload(t *testing.T) {
+	d := workload(t, 150)
+	rep, err := Run(d, DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Events != d.NumEvents() {
+		t.Fatalf("processed %d of %d events", rep.Events, d.NumEvents())
+	}
+	if rep.Rejected != 0 {
+		t.Fatalf("ground truth rejected %d events; must be 0", rep.Rejected)
+	}
+	if rep.MeanLatencySec <= 0 || rep.P99LatencySec < rep.P95LatencySec {
+		t.Fatalf("latency accounting broken: %+v", rep)
+	}
+	if rep.PeakConnectedUEs <= 0 {
+		t.Fatal("peak connected UEs must be positive")
+	}
+	if len(rep.Windows) == 0 {
+		t.Fatal("window history missing")
+	}
+}
+
+func TestRejectsInvalidEvents(t *testing.T) {
+	d := &trace.Dataset{Generation: events.Gen4G, Streams: []trace.Stream{{
+		UEID: "u", Device: events.Phone,
+		Events: []trace.Event{
+			{Time: 0, Type: events.ServiceRequest},
+			{Time: 1, Type: events.ServiceRequest}, // invalid while connected
+			{Time: 2, Type: events.S1ConnRel},
+		},
+	}}}
+	rep, err := Run(d, DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Rejected != 1 {
+		t.Fatalf("rejected %d, want 1", rep.Rejected)
+	}
+}
+
+func TestAutoscalerScalesUp(t *testing.T) {
+	// A burst far above one instance's capacity must raise the pool.
+	d := &trace.Dataset{Generation: events.Gen4G}
+	for u := 0; u < 200; u++ {
+		s := trace.Stream{UEID: "u", Device: events.Phone}
+		base := float64(u) * 0.01
+		s.Events = append(s.Events,
+			trace.Event{Time: base, Type: events.Attach},
+			trace.Event{Time: base + 1, Type: events.S1ConnRel},
+			trace.Event{Time: base + 2, Type: events.ServiceRequest},
+			trace.Event{Time: base + 3, Type: events.S1ConnRel},
+		)
+		d.Streams = append(d.Streams, s)
+	}
+	cfg := DefaultConfig()
+	cfg.BaseInstances = 1
+	cfg.Window = 1
+	rep, err := Run(d, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.MaxInstancesUsed <= 1 {
+		t.Fatalf("autoscaler never scaled: max %d", rep.MaxInstancesUsed)
+	}
+}
+
+func TestNoAutoscaleKeepsPoolFixed(t *testing.T) {
+	d := workload(t, 60)
+	cfg := DefaultConfig()
+	cfg.AutoScale = false
+	cfg.BaseInstances = 3
+	rep, err := Run(d, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.FinalInstances != 3 || rep.MaxInstancesUsed > 3 {
+		t.Fatalf("pool changed without autoscaling: %+v", rep)
+	}
+}
+
+func TestEmptyDataset(t *testing.T) {
+	rep, err := Run(&trace.Dataset{Generation: events.Gen4G}, DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Events != 0 {
+		t.Fatal("empty dataset must process nothing")
+	}
+}
+
+func TestMoreInstancesReduceLatency(t *testing.T) {
+	d := workload(t, 200)
+	cfg1 := DefaultConfig()
+	cfg1.AutoScale = false
+	cfg1.BaseInstances = 1
+	rep1, err := Run(d, cfg1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg8 := cfg1
+	cfg8.BaseInstances = 8
+	rep8, err := Run(d, cfg8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep8.P99LatencySec > rep1.P99LatencySec {
+		t.Fatalf("8 instances slower than 1: %v vs %v", rep8.P99LatencySec, rep1.P99LatencySec)
+	}
+}

@@ -1,0 +1,58 @@
+package netshare
+
+import (
+	"fmt"
+	"io"
+	"os"
+
+	"cptgpt/internal/nn"
+)
+
+// Save serializes the model (both players) to w.
+func (m *Model) Save(w io.Writer) error {
+	params := append(m.GenParams(), m.DiscParams()...)
+	meta := map[string]string{
+		"kind":       "netshare",
+		"generation": m.Cfg.Generation.String(),
+		"config":     fmt.Sprintf("%+v", m.Cfg),
+	}
+	return nn.SaveParams(w, params, meta)
+}
+
+// Load reads weights from r into a model rebuilt from cfg; cfg must match
+// the architecture the checkpoint was written with.
+func Load(r io.Reader, cfg Config) (*Model, error) {
+	m, err := New(cfg)
+	if err != nil {
+		return nil, err
+	}
+	params := append(m.GenParams(), m.DiscParams()...)
+	if _, err := nn.LoadParams(r, params); err != nil {
+		return nil, fmt.Errorf("netshare: %w", err)
+	}
+	return m, nil
+}
+
+// SaveFile writes the model to path.
+func (m *Model) SaveFile(path string) (err error) {
+	f, err := os.Create(path)
+	if err != nil {
+		return fmt.Errorf("netshare: creating %s: %w", path, err)
+	}
+	defer func() {
+		if cerr := f.Close(); err == nil {
+			err = cerr
+		}
+	}()
+	return m.Save(f)
+}
+
+// LoadFile reads a model from path.
+func LoadFile(path string, cfg Config) (*Model, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, fmt.Errorf("netshare: opening %s: %w", path, err)
+	}
+	defer f.Close()
+	return Load(f, cfg)
+}

@@ -1,0 +1,295 @@
+package netshare
+
+import (
+	"bytes"
+	"math"
+	"testing"
+
+	"cptgpt/internal/events"
+	"cptgpt/internal/synthetic"
+	"cptgpt/internal/trace"
+)
+
+func groundTruth(t *testing.T, seed uint64, ues int) *trace.Dataset {
+	t.Helper()
+	d, err := synthetic.Generate(synthetic.Config{
+		Generation: events.Gen4G,
+		Seed:       seed,
+		UEs:        map[events.DeviceType]int{events.Phone: ues},
+		Hours:      1,
+		StartHour:  10,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return d
+}
+
+func tinyConfig() Config {
+	cfg := DefaultConfig()
+	cfg.Epochs = 2
+	cfg.Hidden = 24
+	cfg.DiscHidden = 32
+	cfg.BatchSize = 8
+	return cfg
+}
+
+func TestConfigValidate(t *testing.T) {
+	bad := []func(*Config){
+		func(c *Config) { c.BatchGen = 0 },
+		func(c *Config) { c.Steps = 0 },
+		func(c *Config) { c.NoiseDim = 0 },
+		func(c *Config) { c.BatchSize = 0 },
+		func(c *Config) { c.LR = 0 },
+		func(c *Config) { c.Epochs = 0 },
+	}
+	for i, mut := range bad {
+		cfg := DefaultConfig()
+		mut(&cfg)
+		if err := cfg.Validate(); err == nil {
+			t.Fatalf("case %d: expected validation error", i)
+		}
+	}
+	if DefaultConfig().MaxLen() != 60 {
+		t.Fatalf("default MaxLen %d, want 60", DefaultConfig().MaxLen())
+	}
+}
+
+func TestEncodeStream(t *testing.T) {
+	cfg := tinyConfig()
+	m, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := &trace.Stream{UEID: "u", Device: events.Phone, Events: []trace.Event{
+		{Time: 0, Type: events.Attach},
+		{Time: 10, Type: events.S1ConnRel},
+		{Time: 110, Type: events.ServiceRequest},
+	}}
+	enc, err := m.encodeStream(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(enc) != cfg.seqDim() {
+		t.Fatalf("encoded length %d, want %d", len(enc), cfg.seqDim())
+	}
+	fps := cfg.fieldsPerSample()
+	v := 6
+	// Sample 0: ATCH one-hot at index 0, ia 0, stop 0.
+	if enc[0] != 1 || enc[v] != 0 || enc[v+1] != 0 {
+		t.Fatalf("sample 0 encoding wrong: %v", enc[:fps])
+	}
+	// Sample 2 is the last: stop flag must be 1.
+	if enc[2*fps+v+1] != 1 {
+		t.Fatal("last sample stop flag not set")
+	}
+	// Padding sample 3 keeps stop raised and zero features.
+	if enc[3*fps+v+1] != 1 {
+		t.Fatal("padding stop flag not set")
+	}
+	for j := 0; j < v; j++ {
+		if enc[3*fps+j] != 0 {
+			t.Fatal("padding event one-hot not zero")
+		}
+	}
+	// Normalized interarrivals are in [0, 1].
+	for i := 1; i < 3; i++ {
+		ia := enc[i*fps+v]
+		if ia < 0 || ia > 1 {
+			t.Fatalf("sample %d normalized ia %v outside [0,1]", i, ia)
+		}
+	}
+	// Length fraction feature.
+	if got := enc[cfg.seqDim()-3]; math.Abs(got-3.0/60.0) > 1e-12 {
+		t.Fatalf("length fraction %v", got)
+	}
+}
+
+func TestEncodeStreamRejects(t *testing.T) {
+	m, err := New(tinyConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	short := &trace.Stream{Events: []trace.Event{{Time: 0, Type: events.Attach}}}
+	if _, err := m.encodeStream(short); err == nil {
+		t.Fatal("length-1 stream must be rejected")
+	}
+	long := &trace.Stream{}
+	for i := 0; i < m.Cfg.MaxLen()+1; i++ {
+		long.Events = append(long.Events, trace.Event{Time: float64(i), Type: events.TAU})
+	}
+	if _, err := m.encodeStream(long); err == nil {
+		t.Fatal("over-length stream must be rejected")
+	}
+}
+
+func TestTrainRunsAndImproves(t *testing.T) {
+	d := groundTruth(t, 1, 80)
+	m, err := New(tinyConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	var epochs int
+	res, err := Train(m, d, TrainOpts{OnEpoch: func(e int, dl, gl float64) { epochs++ }})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Epochs != 2 || epochs != 2 || res.Steps == 0 {
+		t.Fatalf("unexpected result %+v", res)
+	}
+	if len(res.DLoss) != 2 || len(res.GLoss) != 2 {
+		t.Fatal("loss histories missing")
+	}
+}
+
+func TestTrainProbeKeepsBestCheckpoint(t *testing.T) {
+	d := groundTruth(t, 2, 60)
+	m, err := New(tinyConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// A probe that prefers the first checkpoint: later epochs score worse.
+	calls := 0
+	res, err := Train(m, d, TrainOpts{Probe: func() float64 {
+		calls++
+		return float64(calls)
+	}, ProbeEvery: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.BestEpoch != 1 {
+		t.Fatalf("best epoch %d, want 1", res.BestEpoch)
+	}
+	if res.BestScore != 1 {
+		t.Fatalf("best score %v, want 1", res.BestScore)
+	}
+}
+
+func TestGenerateStreamShape(t *testing.T) {
+	d := groundTruth(t, 3, 60)
+	m, err := New(tinyConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Train(m, d, TrainOpts{}); err != nil {
+		t.Fatal(err)
+	}
+	gen, err := m.Generate(GenOpts{NumStreams: 40, Device: events.Tablet, Seed: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if gen.NumStreams() != 40 {
+		t.Fatalf("generated %d streams", gen.NumStreams())
+	}
+	for i := range gen.Streams {
+		s := &gen.Streams[i]
+		if s.Device != events.Tablet {
+			t.Fatal("device label lost")
+		}
+		if len(s.Events) == 0 || len(s.Events) > m.Cfg.MaxLen() {
+			t.Fatalf("stream length %d out of bounds", len(s.Events))
+		}
+		last := math.Inf(-1)
+		for _, e := range s.Events {
+			if e.Time < last {
+				t.Fatal("timestamps must not decrease")
+			}
+			last = e.Time
+			if !e.Type.Valid() {
+				t.Fatal("invalid event type")
+			}
+		}
+	}
+}
+
+func TestGenerateDeterministicForSeed(t *testing.T) {
+	m, err := New(tinyConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	g1, err := m.Generate(GenOpts{NumStreams: 10, Device: events.Phone, Seed: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	g2, err := m.Generate(GenOpts{NumStreams: 10, Device: events.Phone, Seed: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range g1.Streams {
+		if len(g1.Streams[i].Events) != len(g2.Streams[i].Events) {
+			t.Fatal("same seed must generate identical streams")
+		}
+		for j := range g1.Streams[i].Events {
+			if g1.Streams[i].Events[j] != g2.Streams[i].Events[j] {
+				t.Fatal("same seed must generate identical events")
+			}
+		}
+	}
+}
+
+func TestSaveLoadRoundTrip(t *testing.T) {
+	m, err := New(tinyConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := m.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	m2, err := Load(&buf, tinyConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	g1, err := m.Generate(GenOpts{NumStreams: 5, Device: events.Phone, Seed: 6})
+	if err != nil {
+		t.Fatal(err)
+	}
+	g2, err := m2.Generate(GenOpts{NumStreams: 5, Device: events.Phone, Seed: 6})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range g1.Streams {
+		if len(g1.Streams[i].Events) != len(g2.Streams[i].Events) {
+			t.Fatal("loaded model generates differently")
+		}
+	}
+}
+
+func TestCloneIndependence(t *testing.T) {
+	m, err := New(tinyConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	c, err := m.Clone()
+	if err != nil {
+		t.Fatal(err)
+	}
+	c.GenParams()[0].Data[0] += 42
+	if m.GenParams()[0].Data[0] == c.GenParams()[0].Data[0] {
+		t.Fatal("clone shares storage")
+	}
+}
+
+func TestRangeFromRawClamps(t *testing.T) {
+	_, w := rangeFromRaw(0, 100)
+	if w > math.Exp(5)+1 {
+		t.Fatalf("width %v not clamped", w)
+	}
+	_, w = rangeFromRaw(0, -100)
+	if w < math.Exp(-6)-1e-9 {
+		t.Fatalf("width %v under-clamped", w)
+	}
+}
+
+func TestTrainRejectsWrongGeneration(t *testing.T) {
+	d := groundTruth(t, 7, 30)
+	cfg := tinyConfig()
+	cfg.Generation = events.Gen5G
+	m, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Train(m, d, TrainOpts{}); err == nil {
+		t.Fatal("4G data into 5G model must error")
+	}
+}

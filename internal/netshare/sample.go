@@ -1,0 +1,111 @@
+package netshare
+
+import (
+	"fmt"
+	"math"
+	"runtime"
+	"sync"
+
+	"cptgpt/internal/events"
+	"cptgpt/internal/stats"
+	"cptgpt/internal/trace"
+)
+
+// GenOpts parameterizes NetShare trace synthesis.
+type GenOpts struct {
+	// NumStreams is the UE population to synthesize.
+	NumStreams int
+	// Device labels the generated streams.
+	Device events.DeviceType
+	// Seed fixes sampling randomness.
+	Seed uint64
+	// Workers bounds sampling concurrency; 0 means GOMAXPROCS.
+	Workers int
+	// StartWindow, when positive, offsets each stream's start uniformly in
+	// [0, StartWindow) seconds (see cptgpt.GenOpts.StartWindow).
+	StartWindow float64
+}
+
+// Generate synthesizes a dataset by running the trained generator on fresh
+// noise, one invocation per UE. Following NetShare's inference procedure,
+// categorical fields take the highest-probability value ("simply choosing
+// the element with the highest possibility") and the numeric interarrival
+// is the generator's deterministic scalar output — variety comes only from
+// the noise input, which is the root of the paper's L2 observation. UE IDs
+// come from a random string generator since the metadata generator was
+// discarded (§4.2.1).
+func (m *Model) Generate(opts GenOpts) (*trace.Dataset, error) {
+	if opts.NumStreams <= 0 {
+		return nil, fmt.Errorf("netshare: NumStreams must be positive, got %d", opts.NumStreams)
+	}
+	workers := opts.Workers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > opts.NumStreams {
+		workers = opts.NumStreams
+	}
+
+	streams := make([]trace.Stream, opts.NumStreams)
+	var wg sync.WaitGroup
+	jobs := make(chan int)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range jobs {
+				streams[i] = m.sampleStream(i, opts)
+			}
+		}()
+	}
+	for i := 0; i < opts.NumStreams; i++ {
+		jobs <- i
+	}
+	close(jobs)
+	wg.Wait()
+	return &trace.Dataset{Generation: m.Cfg.Generation, Streams: streams}, nil
+}
+
+// sampleStream decodes one stream from fresh noise.
+func (m *Model) sampleStream(idx int, opts GenOpts) trace.Stream {
+	cfg := m.Cfg
+	rng := stats.NewRand(opts.Seed ^ (uint64(idx)+1)*0x9e3779b97f4a7c15)
+	vocab := events.Vocabulary(cfg.Generation)
+	v := len(vocab)
+	fps := cfg.fieldsPerSample()
+
+	noise, rz := m.sampleNoise(1, rng)
+	data, rawMin, rawLogWidth := m.generateRaw(noise, rz)
+	minLog, width := rangeFromRaw(rawMin, rawLogWidth)
+
+	s := trace.Stream{
+		UEID:   fmt.Sprintf("ue-%08x", rng.Uint64()&0xffffffff),
+		Device: opts.Device,
+	}
+	t := 0.0
+	if opts.StartWindow > 0 {
+		t = rng.Float64() * opts.StartWindow
+	}
+	for i := 0; i < cfg.MaxLen(); i++ {
+		base := i * fps
+		// Event: argmax over the softmaxed block.
+		best, bestP := 0, math.Inf(-1)
+		for j := 0; j < v; j++ {
+			if data[base+j] > bestP {
+				best, bestP = j, data[base+j]
+			}
+		}
+		iaNorm := data[base+v]
+		stop := data[base+v+1]
+		if i > 0 {
+			t += math.Expm1(math.Max(minLog+iaNorm*width, 0))
+		}
+		s.Events = append(s.Events, trace.Event{Time: t, Type: vocab[best]})
+		// The stop field is the per-sample termination hazard; sample it,
+		// matching the soft survival-mask semantics of training.
+		if rng.Float64() < stop {
+			break
+		}
+	}
+	return s
+}

@@ -1,0 +1,112 @@
+package nn
+
+import (
+	"encoding/gob"
+	"fmt"
+	"io"
+	"os"
+
+	"cptgpt/internal/tensor"
+)
+
+// paramBlob is the gob wire form of one parameter tensor.
+type paramBlob struct {
+	Rows, Cols int
+	Data       []float64
+}
+
+// checkpoint is the gob wire form of a full parameter set plus arbitrary
+// model metadata supplied by the caller.
+type checkpoint struct {
+	Magic  string
+	Meta   map[string]string
+	Params []paramBlob
+}
+
+const checkpointMagic = "cptgpt-nn/1"
+
+// SaveParams serializes params (in order) and meta to w.
+func SaveParams(w io.Writer, params []*tensor.Tensor, meta map[string]string) error {
+	ck := checkpoint{Magic: checkpointMagic, Meta: meta}
+	for _, p := range params {
+		ck.Params = append(ck.Params, paramBlob{Rows: p.Rows, Cols: p.Cols, Data: p.Data})
+	}
+	if err := gob.NewEncoder(w).Encode(&ck); err != nil {
+		return fmt.Errorf("nn: encoding checkpoint: %w", err)
+	}
+	return nil
+}
+
+// LoadParams reads a checkpoint from r and copies the stored values into
+// params, which must match the stored shapes in order. It returns the
+// stored metadata.
+func LoadParams(r io.Reader, params []*tensor.Tensor) (map[string]string, error) {
+	var ck checkpoint
+	if err := gob.NewDecoder(r).Decode(&ck); err != nil {
+		return nil, fmt.Errorf("nn: decoding checkpoint: %w", err)
+	}
+	if ck.Magic != checkpointMagic {
+		return nil, fmt.Errorf("nn: bad checkpoint magic %q", ck.Magic)
+	}
+	if len(ck.Params) != len(params) {
+		return nil, fmt.Errorf("nn: checkpoint has %d parameters, model has %d", len(ck.Params), len(params))
+	}
+	for i, b := range ck.Params {
+		p := params[i]
+		if b.Rows != p.Rows || b.Cols != p.Cols {
+			return nil, fmt.Errorf("nn: parameter %d shape mismatch: checkpoint %d×%d, model %d×%d",
+				i, b.Rows, b.Cols, p.Rows, p.Cols)
+		}
+		copy(p.Data, b.Data)
+	}
+	return ck.Meta, nil
+}
+
+// SaveParamsFile writes a checkpoint to path.
+func SaveParamsFile(path string, params []*tensor.Tensor, meta map[string]string) (err error) {
+	f, err := os.Create(path)
+	if err != nil {
+		return fmt.Errorf("nn: creating %s: %w", path, err)
+	}
+	defer func() {
+		if cerr := f.Close(); err == nil {
+			err = cerr
+		}
+	}()
+	return SaveParams(f, params, meta)
+}
+
+// LoadParamsFile reads a checkpoint from path into params.
+func LoadParamsFile(path string, params []*tensor.Tensor) (map[string]string, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, fmt.Errorf("nn: opening %s: %w", path, err)
+	}
+	defer f.Close()
+	return LoadParams(f, params)
+}
+
+// CopyParams copies values from src parameters into dst (shape-checked) —
+// the warm-start primitive behind transfer learning (Design 3).
+func CopyParams(dst, src []*tensor.Tensor) error {
+	if len(dst) != len(src) {
+		return fmt.Errorf("nn: CopyParams count mismatch %d vs %d", len(dst), len(src))
+	}
+	for i := range dst {
+		if dst[i].Rows != src[i].Rows || dst[i].Cols != src[i].Cols {
+			return fmt.Errorf("nn: CopyParams shape mismatch at %d: %d×%d vs %d×%d",
+				i, dst[i].Rows, dst[i].Cols, src[i].Rows, src[i].Cols)
+		}
+		copy(dst[i].Data, src[i].Data)
+	}
+	return nil
+}
+
+// NumParams returns the total scalar parameter count of params.
+func NumParams(params []*tensor.Tensor) int {
+	var n int
+	for _, p := range params {
+		n += p.Numel()
+	}
+	return n
+}

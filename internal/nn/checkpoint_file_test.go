@@ -1,0 +1,46 @@
+package nn
+
+import (
+	"path/filepath"
+	"testing"
+
+	"cptgpt/internal/tensor"
+)
+
+func TestCheckpointFileRoundTrip(t *testing.T) {
+	rng := newRNG()
+	m1 := NewMLP(rng, 4, 8, 2)
+	path := filepath.Join(t.TempDir(), "ckpt.bin")
+	if err := SaveParamsFile(path, m1.Params(), map[string]string{"epoch": "3"}); err != nil {
+		t.Fatal(err)
+	}
+	m2 := NewMLP(newRNG(), 4, 8, 2)
+	m2.Layers[0].W.Data[0] = 99
+	meta, err := LoadParamsFile(path, m2.Params())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if meta["epoch"] != "3" {
+		t.Fatalf("meta %v", meta)
+	}
+	if m2.Layers[0].W.Data[0] == 99 {
+		t.Fatal("load did not restore values")
+	}
+}
+
+func TestLoadParamsFileMissing(t *testing.T) {
+	m := NewMLP(newRNG(), 2, 2)
+	if _, err := LoadParamsFile(filepath.Join(t.TempDir(), "nope.bin"), m.Params()); err == nil {
+		t.Fatal("missing file must error")
+	}
+}
+
+func TestBlockForwardShapePreserved(t *testing.T) {
+	rng := newRNG()
+	b := NewBlock(16, 4, 32, rng)
+	x := tensor.Randn(7, 16, 1, rng)
+	y := b.Forward(x)
+	if y.Rows != 7 || y.Cols != 16 {
+		t.Fatalf("block output %dx%d", y.Rows, y.Cols)
+	}
+}

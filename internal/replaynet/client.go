@@ -1,0 +1,96 @@
+package replaynet
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"net"
+	"sort"
+	"time"
+
+	"cptgpt/internal/trace"
+)
+
+// ReplayOpts tunes a driver run.
+type ReplayOpts struct {
+	// Speedup divides trace time: 60 replays an hour of trace in a minute.
+	// A Speedup ≤ 0 replays as fast as the connection allows (no pacing).
+	Speedup float64
+	// Deadline bounds the total wall-clock replay duration; 0 means none.
+	Deadline time.Duration
+}
+
+// Replay connects to a replaynet server at addr, paces the dataset's merged
+// event sequence onto the wire and returns the server's final stats. Events
+// across all streams are interleaved in timestamp order, exactly the load a
+// real core would see from the UE population.
+func Replay(addr string, d *trace.Dataset, opts ReplayOpts) (Stats, error) {
+	conn, err := net.Dial("tcp", addr)
+	if err != nil {
+		return Stats{}, fmt.Errorf("replaynet: dial %s: %w", addr, err)
+	}
+	defer conn.Close()
+	bw := bufio.NewWriter(conn)
+	br := bufio.NewReader(conn)
+
+	if err := writeFrame(bw, frameHello, []byte{byte(d.Generation)}); err != nil {
+		return Stats{}, err
+	}
+
+	// Merge events across streams in time order.
+	type item struct {
+		t  float64
+		ue uint32
+		ev byte
+	}
+	var all []item
+	for ue := range d.Streams {
+		for _, e := range d.Streams[ue].Events {
+			all = append(all, item{t: e.Time, ue: uint32(ue), ev: byte(e.Type)})
+		}
+	}
+	sort.Slice(all, func(i, j int) bool { return all[i].t < all[j].t })
+
+	start := time.Now()
+	var t0 float64
+	if len(all) > 0 {
+		t0 = all[0].t
+	}
+	for _, it := range all {
+		if opts.Deadline > 0 && time.Since(start) > opts.Deadline {
+			break
+		}
+		if opts.Speedup > 0 {
+			due := time.Duration((it.t - t0) / opts.Speedup * float64(time.Second))
+			if wait := due - time.Since(start); wait > 0 {
+				time.Sleep(wait)
+			}
+		}
+		if err := writeFrame(bw, frameEvent, eventPayload(it.ue, int64(it.t*1e6), it.ev)); err != nil {
+			return Stats{}, err
+		}
+	}
+
+	// Ask for the final stats.
+	if err := writeFrame(bw, frameStats, nil); err != nil {
+		return Stats{}, err
+	}
+	if err := bw.Flush(); err != nil {
+		return Stats{}, fmt.Errorf("replaynet: flushing: %w", err)
+	}
+	ft, payload, err := readFrame(br)
+	if err != nil {
+		return Stats{}, fmt.Errorf("replaynet: reading report: %w", err)
+	}
+	if ft != frameReport {
+		return Stats{}, fmt.Errorf("replaynet: expected REPORT frame, got %q", byte(ft))
+	}
+	var st Stats
+	if err := json.Unmarshal(payload, &st); err != nil {
+		return Stats{}, fmt.Errorf("replaynet: decoding report: %w", err)
+	}
+	if err := writeFrame(bw, frameBye, nil); err == nil {
+		_ = bw.Flush()
+	}
+	return st, nil
+}

@@ -1,0 +1,90 @@
+// Package replaynet replays control-plane traffic over TCP: a driver client
+// paces a dataset's events onto the wire and an MCN-frontend server
+// consumes them, tracking per-UE state and load. It gives the repository a
+// real networked downstream consumer (the paper's motivating use case of
+// driving MCN implementations with synthesized traffic) built only on the
+// standard library's net package.
+//
+// Wire format (all integers big-endian):
+//
+//	frame   := type(1) length(4) payload(length)
+//	HELLO   := type 'H', payload = generation byte
+//	EVENT   := type 'E', payload = ueIdx(4) timeMicros(8) eventType(1)
+//	STATS   := type 'S', payload empty (request) — server answers with a
+//	           REPORT frame
+//	REPORT  := type 'R', payload = JSON-encoded Stats
+//	BYE     := type 'B', payload empty
+package replaynet
+
+import (
+	"encoding/binary"
+	"fmt"
+	"io"
+)
+
+// frameType tags a wire frame.
+type frameType byte
+
+const (
+	frameHello  frameType = 'H'
+	frameEvent  frameType = 'E'
+	frameStats  frameType = 'S'
+	frameReport frameType = 'R'
+	frameBye    frameType = 'B'
+)
+
+// maxFrame bounds payload sizes to keep a malformed peer from forcing huge
+// allocations.
+const maxFrame = 1 << 20
+
+// writeFrame emits one frame.
+func writeFrame(w io.Writer, t frameType, payload []byte) error {
+	var hdr [5]byte
+	hdr[0] = byte(t)
+	binary.BigEndian.PutUint32(hdr[1:], uint32(len(payload)))
+	if _, err := w.Write(hdr[:]); err != nil {
+		return fmt.Errorf("replaynet: writing frame header: %w", err)
+	}
+	if len(payload) > 0 {
+		if _, err := w.Write(payload); err != nil {
+			return fmt.Errorf("replaynet: writing frame payload: %w", err)
+		}
+	}
+	return nil
+}
+
+// readFrame reads one frame.
+func readFrame(r io.Reader) (frameType, []byte, error) {
+	var hdr [5]byte
+	if _, err := io.ReadFull(r, hdr[:]); err != nil {
+		return 0, nil, err // propagate io.EOF unchanged for clean shutdown
+	}
+	n := binary.BigEndian.Uint32(hdr[1:])
+	if n > maxFrame {
+		return 0, nil, fmt.Errorf("replaynet: frame of %d bytes exceeds limit", n)
+	}
+	payload := make([]byte, n)
+	if _, err := io.ReadFull(r, payload); err != nil {
+		return 0, nil, fmt.Errorf("replaynet: reading frame payload: %w", err)
+	}
+	return frameType(hdr[0]), payload, nil
+}
+
+// eventPayload encodes an EVENT frame payload.
+func eventPayload(ueIdx uint32, timeMicros int64, ev byte) []byte {
+	buf := make([]byte, 13)
+	binary.BigEndian.PutUint32(buf[0:4], ueIdx)
+	binary.BigEndian.PutUint64(buf[4:12], uint64(timeMicros))
+	buf[12] = ev
+	return buf
+}
+
+// decodeEvent decodes an EVENT frame payload.
+func decodeEvent(payload []byte) (ueIdx uint32, timeMicros int64, ev byte, err error) {
+	if len(payload) != 13 {
+		return 0, 0, 0, fmt.Errorf("replaynet: EVENT payload is %d bytes, want 13", len(payload))
+	}
+	return binary.BigEndian.Uint32(payload[0:4]),
+		int64(binary.BigEndian.Uint64(payload[4:12])),
+		payload[12], nil
+}

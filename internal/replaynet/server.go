@@ -1,0 +1,189 @@
+package replaynet
+
+import (
+	"bufio"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"sync"
+
+	"cptgpt/internal/events"
+	"cptgpt/internal/statemachine"
+)
+
+// Stats is the server-side accounting returned to drivers on request.
+type Stats struct {
+	// Events is the number of EVENT frames accepted; Rejected counts
+	// events that violated the UE state machine.
+	Events   int `json:"events"`
+	Rejected int `json:"rejected"`
+	// ConnectedUEs is the current number of UEs in the CONNECTED state;
+	// PeakConnectedUEs its high-water mark.
+	ConnectedUEs     int `json:"connected_ues"`
+	PeakConnectedUEs int `json:"peak_connected_ues"`
+	// ByType counts accepted events per type name.
+	ByType map[string]int `json:"by_type"`
+}
+
+// Server is an MCN control-plane frontend: it accepts driver connections,
+// consumes EVENT frames, validates them against the 3GPP state machine and
+// keeps per-UE state, mirroring a stateful core implementation.
+type Server struct {
+	ln  net.Listener
+	gen events.Generation
+
+	mu      sync.Mutex
+	stats   Stats
+	ueState map[uint32]statemachine.State
+	ueBoot  map[uint32]bool
+	closed  bool
+	wg      sync.WaitGroup
+}
+
+// ListenAndServe starts a server on addr (e.g. "127.0.0.1:0") for the given
+// generation. It returns once the listener is ready; connections are served
+// on background goroutines until Close.
+func ListenAndServe(addr string, gen events.Generation) (*Server, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("replaynet: listen %s: %w", addr, err)
+	}
+	s := &Server{
+		ln:      ln,
+		gen:     gen,
+		ueState: make(map[uint32]statemachine.State),
+		ueBoot:  make(map[uint32]bool),
+	}
+	s.stats.ByType = make(map[string]int)
+	s.wg.Add(1)
+	go s.acceptLoop()
+	return s, nil
+}
+
+// Addr returns the listener address (useful with port 0).
+func (s *Server) Addr() net.Addr { return s.ln.Addr() }
+
+// Close stops accepting and waits for in-flight connections to finish.
+func (s *Server) Close() error {
+	s.mu.Lock()
+	s.closed = true
+	s.mu.Unlock()
+	err := s.ln.Close()
+	s.wg.Wait()
+	return err
+}
+
+// Snapshot returns a copy of the current stats.
+func (s *Server) Snapshot() Stats {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	cp := s.stats
+	cp.ByType = make(map[string]int, len(s.stats.ByType))
+	for k, v := range s.stats.ByType {
+		cp.ByType[k] = v
+	}
+	return cp
+}
+
+func (s *Server) acceptLoop() {
+	defer s.wg.Done()
+	for {
+		conn, err := s.ln.Accept()
+		if err != nil {
+			return // listener closed
+		}
+		s.wg.Add(1)
+		go func() {
+			defer s.wg.Done()
+			s.serveConn(conn)
+		}()
+	}
+}
+
+func (s *Server) serveConn(conn net.Conn) {
+	defer conn.Close()
+	br := bufio.NewReader(conn)
+	bw := bufio.NewWriter(conn)
+	machine := statemachine.New(s.gen)
+
+	for {
+		t, payload, err := readFrame(br)
+		if err != nil {
+			if !errors.Is(err, io.EOF) && !errors.Is(err, io.ErrUnexpectedEOF) {
+				// A malformed frame; nothing useful to answer.
+				_ = err
+			}
+			return
+		}
+		switch t {
+		case frameHello:
+			// Generation negotiation: reject mismatches by closing.
+			if len(payload) != 1 || events.Generation(payload[0]) != s.gen {
+				return
+			}
+		case frameEvent:
+			ue, _, evb, err := decodeEvent(payload)
+			if err != nil {
+				return
+			}
+			ev := events.Type(evb)
+			if !ev.Valid() {
+				return
+			}
+			s.consume(machine, ue, ev)
+		case frameStats:
+			st := s.Snapshot()
+			body, err := json.Marshal(st)
+			if err != nil {
+				return
+			}
+			if err := writeFrame(bw, frameReport, body); err != nil {
+				return
+			}
+			if err := bw.Flush(); err != nil {
+				return
+			}
+		case frameBye:
+			return
+		default:
+			return // unknown frame: drop the connection
+		}
+	}
+}
+
+// consume applies one event to the stateful UE table.
+func (s *Server) consume(machine statemachine.Machine, ue uint32, ev events.Type) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.stats.Events++
+	s.stats.ByType[ev.String()]++
+
+	prevTop := statemachine.Top(s.ueState[ue])
+	if !s.ueBoot[ue] {
+		if st, ok := machine.Bootstrap(ev); ok {
+			s.ueState[ue] = st
+			s.ueBoot[ue] = true
+		}
+	} else {
+		next, ok := machine.Step(s.ueState[ue], ev)
+		if !ok {
+			s.stats.Rejected++
+			return
+		}
+		s.ueState[ue] = next
+	}
+	top := statemachine.Top(s.ueState[ue])
+	if top != prevTop {
+		switch {
+		case top == statemachine.TopConnected:
+			s.stats.ConnectedUEs++
+			if s.stats.ConnectedUEs > s.stats.PeakConnectedUEs {
+				s.stats.PeakConnectedUEs = s.stats.ConnectedUEs
+			}
+		case prevTop == statemachine.TopConnected:
+			s.stats.ConnectedUEs--
+		}
+	}
+}

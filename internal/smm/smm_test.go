@@ -1,0 +1,171 @@
+package smm
+
+import (
+	"testing"
+
+	"cptgpt/internal/events"
+	"cptgpt/internal/metrics"
+	"cptgpt/internal/synthetic"
+	"cptgpt/internal/trace"
+)
+
+func groundTruth(t *testing.T, seed uint64, ues int) *trace.Dataset {
+	t.Helper()
+	d, err := synthetic.Generate(synthetic.Config{
+		Generation: events.Gen4G,
+		Seed:       seed,
+		UEs:        map[events.DeviceType]int{events.Phone: ues},
+		Hours:      1,
+		StartHour:  10,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return d
+}
+
+func TestFitAndGenerateSMM1(t *testing.T) {
+	d := groundTruth(t, 1, 200)
+	m, err := Fit(d, DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.K() != 1 {
+		t.Fatalf("SMM-1 cluster count %d", m.K())
+	}
+	if m.NumCDFs() == 0 {
+		t.Fatal("no sojourn CDFs fitted")
+	}
+	gen, err := m.Generate(GenOpts{NumStreams: 300, Device: events.Phone, Seed: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if gen.NumStreams() != 300 {
+		t.Fatalf("generated %d streams", gen.NumStreams())
+	}
+
+	// Core SMM property: zero violations by construction.
+	agg := metrics.Replay(gen)
+	if agg.ViolatingEvents != 0 {
+		t.Fatalf("SMM generated %d violating events; must be 0 by construction", agg.ViolatingEvents)
+	}
+
+	// Horizon property: all events inside the fitting horizon.
+	for i := range gen.Streams {
+		for _, e := range gen.Streams[i].Events {
+			if e.Time < 0 || e.Time >= m.Cfg.Horizon {
+				t.Fatalf("event at %v outside horizon %v", e.Time, m.Cfg.Horizon)
+			}
+		}
+	}
+}
+
+func TestClusteredSMMBeatsSingleOnFlowLength(t *testing.T) {
+	train := groundTruth(t, 3, 400)
+	test := groundTruth(t, 4, 400)
+
+	cfg1 := DefaultConfig()
+	m1, err := Fit(train, cfg1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfgK := DefaultConfig()
+	cfgK.K = 12
+	mK, err := Fit(train, cfgK)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if mK.K() <= 1 {
+		t.Fatalf("clustered fit produced %d clusters", mK.K())
+	}
+
+	g1, err := m1.Generate(GenOpts{NumStreams: 400, Device: events.Phone, Seed: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	gK, err := mK.Generate(GenOpts{NumStreams: 400, Device: events.Phone, Seed: 6})
+	if err != nil {
+		t.Fatal(err)
+	}
+	f1 := metrics.Evaluate(test, g1)
+	fK := metrics.Evaluate(test, gK)
+	// The paper's central SMM finding: one model cannot capture UE
+	// heterogeneity; clustering recovers the flow-length distribution.
+	if fK.FlowLenMaxY >= f1.FlowLenMaxY {
+		t.Fatalf("clustered SMM should improve flow length: SMM-1 %.3f vs SMM-K %.3f",
+			f1.FlowLenMaxY, fK.FlowLenMaxY)
+	}
+}
+
+func TestGenerateDeterministicForSeed(t *testing.T) {
+	d := groundTruth(t, 7, 100)
+	m, err := Fit(d, DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	g1, err := m.Generate(GenOpts{NumStreams: 50, Device: events.Phone, Seed: 9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	g2, err := m.Generate(GenOpts{NumStreams: 50, Device: events.Phone, Seed: 9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range g1.Streams {
+		if len(g1.Streams[i].Events) != len(g2.Streams[i].Events) {
+			t.Fatal("same seed must generate identical traces")
+		}
+	}
+}
+
+func TestFitValidation(t *testing.T) {
+	if _, err := Fit(&trace.Dataset{Generation: events.Gen4G}, DefaultConfig()); err == nil {
+		t.Fatal("empty dataset must error")
+	}
+	d := groundTruth(t, 8, 10)
+	bad := DefaultConfig()
+	bad.K = 0
+	if _, err := Fit(d, bad); err == nil {
+		t.Fatal("K=0 must error")
+	}
+	bad = DefaultConfig()
+	bad.Horizon = -1
+	if _, err := Fit(d, bad); err == nil {
+		t.Fatal("negative horizon must error")
+	}
+}
+
+func TestGenerateValidation(t *testing.T) {
+	d := groundTruth(t, 9, 20)
+	m, err := Fit(d, DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := m.Generate(GenOpts{NumStreams: 0}); err == nil {
+		t.Fatal("NumStreams=0 must error")
+	}
+}
+
+func TestFit5G(t *testing.T) {
+	d, err := synthetic.Generate(synthetic.Config{
+		Generation: events.Gen5G,
+		Seed:       10,
+		UEs:        map[events.DeviceType]int{events.Phone: 100},
+		Hours:      1,
+		StartHour:  10,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := Fit(d, DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	gen, err := m.Generate(GenOpts{NumStreams: 100, Device: events.Phone, Seed: 11})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if agg := metrics.Replay(gen); agg.ViolatingEvents != 0 {
+		t.Fatalf("5G SMM produced %d violations", agg.ViolatingEvents)
+	}
+}

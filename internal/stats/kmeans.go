@@ -1,0 +1,163 @@
+package stats
+
+import (
+	"math"
+	"math/rand/v2"
+)
+
+// KMeansResult holds the output of Lloyd's algorithm: the final centroids
+// and the assignment of each input point to a centroid index.
+type KMeansResult struct {
+	Centroids  [][]float64
+	Assignment []int
+	Iterations int
+}
+
+// KMeans clusters points (each a feature vector of identical dimension) into
+// k clusters with Lloyd's algorithm and k-means++ seeding. It is used by the
+// clustered SMM baseline to group UEs with similar stream features, mirroring
+// the prior-art's per-cluster model instantiation. Features are standardized
+// internally (zero mean, unit variance per dimension) so heterogeneous
+// feature scales do not dominate.
+//
+// k is clamped to [1, len(points)]; maxIter bounds Lloyd iterations.
+func KMeans(points [][]float64, k, maxIter int, rng *rand.Rand) KMeansResult {
+	n := len(points)
+	if n == 0 {
+		return KMeansResult{}
+	}
+	if k < 1 {
+		k = 1
+	}
+	if k > n {
+		k = n
+	}
+	dim := len(points[0])
+
+	// Standardize a copy of the points.
+	std := make([][]float64, n)
+	mu := make([]float64, dim)
+	sd := make([]float64, dim)
+	for d := 0; d < dim; d++ {
+		var s float64
+		for _, p := range points {
+			s += p[d]
+		}
+		mu[d] = s / float64(n)
+		var v float64
+		for _, p := range points {
+			diff := p[d] - mu[d]
+			v += diff * diff
+		}
+		sd[d] = math.Sqrt(v / float64(n))
+		if sd[d] < 1e-12 {
+			sd[d] = 1
+		}
+	}
+	for i, p := range points {
+		row := make([]float64, dim)
+		for d := 0; d < dim; d++ {
+			row[d] = (p[d] - mu[d]) / sd[d]
+		}
+		std[i] = row
+	}
+
+	centroids := kmeansPlusPlus(std, k, rng)
+	assign := make([]int, n)
+	var it int
+	for it = 0; it < maxIter; it++ {
+		changed := false
+		for i, p := range std {
+			best, bestD := 0, math.Inf(1)
+			for c, cent := range centroids {
+				if d := sqDist(p, cent); d < bestD {
+					best, bestD = c, d
+				}
+			}
+			if assign[i] != best {
+				assign[i] = best
+				changed = true
+			}
+		}
+		if !changed && it > 0 {
+			break
+		}
+		counts := make([]int, k)
+		sums := make([][]float64, k)
+		for c := range sums {
+			sums[c] = make([]float64, dim)
+		}
+		for i, p := range std {
+			c := assign[i]
+			counts[c]++
+			for d := 0; d < dim; d++ {
+				sums[c][d] += p[d]
+			}
+		}
+		for c := 0; c < k; c++ {
+			if counts[c] == 0 {
+				// Re-seed an empty cluster at a random point.
+				centroids[c] = append([]float64(nil), std[rng.IntN(n)]...)
+				continue
+			}
+			for d := 0; d < dim; d++ {
+				centroids[c][d] = sums[c][d] / float64(counts[c])
+			}
+		}
+	}
+
+	// De-standardize centroids for the caller.
+	out := make([][]float64, k)
+	for c := range centroids {
+		row := make([]float64, dim)
+		for d := 0; d < dim; d++ {
+			row[d] = centroids[c][d]*sd[d] + mu[d]
+		}
+		out[c] = row
+	}
+	return KMeansResult{Centroids: out, Assignment: assign, Iterations: it}
+}
+
+func kmeansPlusPlus(points [][]float64, k int, rng *rand.Rand) [][]float64 {
+	n := len(points)
+	centroids := make([][]float64, 0, k)
+	centroids = append(centroids, append([]float64(nil), points[rng.IntN(n)]...))
+	dists := make([]float64, n)
+	for len(centroids) < k {
+		var total float64
+		for i, p := range points {
+			d := math.Inf(1)
+			for _, c := range centroids {
+				if sd := sqDist(p, c); sd < d {
+					d = sd
+				}
+			}
+			dists[i] = d
+			total += d
+		}
+		if total == 0 {
+			centroids = append(centroids, append([]float64(nil), points[rng.IntN(n)]...))
+			continue
+		}
+		u := rng.Float64() * total
+		idx := n - 1
+		for i, d := range dists {
+			u -= d
+			if u < 0 {
+				idx = i
+				break
+			}
+		}
+		centroids = append(centroids, append([]float64(nil), points[idx]...))
+	}
+	return centroids
+}
+
+func sqDist(a, b []float64) float64 {
+	var s float64
+	for i := range a {
+		d := a[i] - b[i]
+		s += d * d
+	}
+	return s
+}

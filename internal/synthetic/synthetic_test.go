@@ -1,0 +1,220 @@
+package synthetic
+
+import (
+	"math"
+	"testing"
+
+	"cptgpt/internal/events"
+	"cptgpt/internal/statemachine"
+)
+
+func small4G(t *testing.T, seed uint64) Config {
+	t.Helper()
+	return Config{
+		Generation: events.Gen4G,
+		Seed:       seed,
+		UEs: map[events.DeviceType]int{
+			events.Phone:        60,
+			events.ConnectedCar: 40,
+			events.Tablet:       30,
+		},
+		Hours:     1,
+		StartHour: 10,
+	}
+}
+
+func TestValidate(t *testing.T) {
+	bad := []Config{
+		{Generation: events.Gen4G, Hours: 0, UEs: map[events.DeviceType]int{events.Phone: 1}},
+		{Generation: events.Gen4G, Hours: 1, StartHour: 25, UEs: map[events.DeviceType]int{events.Phone: 1}},
+		{Generation: events.Gen4G, Hours: 1, UEs: map[events.DeviceType]int{events.Phone: -1}},
+		{Generation: events.Gen4G, Hours: 1, UEs: map[events.DeviceType]int{}},
+	}
+	for i, cfg := range bad {
+		if err := cfg.Validate(); err == nil {
+			t.Fatalf("case %d: expected error", i)
+		}
+	}
+	if err := DefaultConfig().Validate(); err != nil {
+		t.Fatalf("default config invalid: %v", err)
+	}
+}
+
+// TestSemanticallyValid is the generator's core invariant: every stream it
+// emits replays with zero violations against the hierarchical state machine.
+func TestSemanticallyValid(t *testing.T) {
+	for _, gen := range []events.Generation{events.Gen4G, events.Gen5G} {
+		cfg := small4G(t, 7)
+		cfg.Generation = gen
+		d, err := Generate(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		m := statemachine.New(gen)
+		for i := range d.Streams {
+			s := &d.Streams[i]
+			r := statemachine.Replay(m, s.Types(), s.Times())
+			if r.Violated() {
+				t.Fatalf("%s stream %s has violations: %+v", gen, s.UEID, r.Violations[0])
+			}
+		}
+	}
+}
+
+func TestTimestampsOrderedAndBounded(t *testing.T) {
+	cfg := small4G(t, 8)
+	cfg.Hours = 2
+	d, err := Generate(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	horizon := 3600.0 * 2
+	for i := range d.Streams {
+		last := math.Inf(-1)
+		for _, e := range d.Streams[i].Events {
+			if e.Time < last {
+				t.Fatalf("stream %s timestamps decrease", d.Streams[i].UEID)
+			}
+			if e.Time < 0 || e.Time >= horizon {
+				t.Fatalf("stream %s timestamp %v outside [0, %v)", d.Streams[i].UEID, e.Time, horizon)
+			}
+			last = e.Time
+		}
+	}
+}
+
+func TestDeterministicForSeed(t *testing.T) {
+	d1, err := Generate(small4G(t, 42))
+	if err != nil {
+		t.Fatal(err)
+	}
+	d2, err := Generate(small4G(t, 42))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d1.NumStreams() != d2.NumStreams() || d1.NumEvents() != d2.NumEvents() {
+		t.Fatal("same seed must give identical datasets")
+	}
+	for i := range d1.Streams {
+		a, b := &d1.Streams[i], &d2.Streams[i]
+		for j := range a.Events {
+			if a.Events[j] != b.Events[j] {
+				t.Fatal("same seed must give identical events")
+			}
+		}
+	}
+	d3, err := Generate(small4G(t, 43))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d3.NumEvents() == d1.NumEvents() {
+		t.Log("different seeds gave equal event counts (possible but unlikely)")
+	}
+}
+
+func TestDeviceMixBehaviour(t *testing.T) {
+	cfg := Config{
+		Generation: events.Gen4G,
+		Seed:       5,
+		UEs: map[events.DeviceType]int{
+			events.Phone:        200,
+			events.ConnectedCar: 200,
+		},
+		Hours:     1,
+		StartHour: 12,
+	}
+	d, err := Generate(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	hoShare := func(dev events.DeviceType) float64 {
+		sub := d.FilterDevice(dev)
+		var ho, total float64
+		for i := range sub.Streams {
+			for _, e := range sub.Streams[i].Events {
+				total++
+				if e.Type == events.Handover {
+					ho++
+				}
+			}
+		}
+		return ho / total
+	}
+	phone, car := hoShare(events.Phone), hoShare(events.ConnectedCar)
+	if car <= phone {
+		t.Fatalf("connected cars must hand over more than phones: car %.3f vs phone %.3f", car, phone)
+	}
+}
+
+func TestSRVandRELDominant(t *testing.T) {
+	d, err := Generate(small4G(t, 9))
+	if err != nil {
+		t.Fatal(err)
+	}
+	shares, vocab := d.EventBreakdown()
+	var srvRel float64
+	for i, e := range vocab {
+		if e == events.ServiceRequest || e == events.S1ConnRel {
+			srvRel += shares[i]
+		}
+	}
+	if srvRel < 0.6 {
+		t.Fatalf("SRV_REQ+S1_CONN_REL share %.2f; the real trace has ≈0.9 (Table 7)", srvRel)
+	}
+}
+
+func TestDiurnalDrift(t *testing.T) {
+	// Generate across the morning ramp: hour starting 05:00 should be much
+	// quieter than hour starting 12:00 for phones.
+	cfg := Config{
+		Generation: events.Gen4G,
+		Seed:       11,
+		UEs:        map[events.DeviceType]int{events.Phone: 300},
+		Hours:      8,
+		StartHour:  5,
+	}
+	d, err := Generate(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	early := d.SliceHour(0) // 05:00
+	noon := d.SliceHour(7)  // 12:00
+	if noon.NumEvents() <= early.NumEvents() {
+		t.Fatalf("diurnal drift missing: noon %d events vs 5am %d", noon.NumEvents(), early.NumEvents())
+	}
+}
+
+func TestUEHeterogeneity(t *testing.T) {
+	cfg := small4G(t, 13)
+	cfg.UEs = map[events.DeviceType]int{events.Phone: 300}
+	d, err := Generate(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lengths := d.FlowLengths(nil)
+	var min, max float64 = math.Inf(1), math.Inf(-1)
+	for _, l := range lengths {
+		min = math.Min(min, l)
+		max = math.Max(max, l)
+	}
+	// Latent activity mixtures should spread flow lengths widely.
+	if max < 5*min || max < 20 {
+		t.Fatalf("flow lengths too homogeneous: min %v max %v", min, max)
+	}
+}
+
+func Test5GUsesOnly5GVocabulary(t *testing.T) {
+	cfg := small4G(t, 17)
+	cfg.Generation = events.Gen5G
+	d, err := Generate(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range d.Streams {
+		for _, e := range d.Streams[i].Events {
+			if events.VocabIndex(events.Gen5G, e.Type) < 0 {
+				t.Fatalf("5G trace contains %s", e.Type)
+			}
+		}
+	}
+}

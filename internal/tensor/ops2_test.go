@@ -1,0 +1,167 @@
+package tensor
+
+import (
+	"math"
+	"testing"
+)
+
+func TestScaleRowsGrad(t *testing.T) {
+	rng := newRNG()
+	a := Randn(3, 4, 1, rng).Param()
+	col := Randn(3, 1, 1, rng).Param()
+	checkGrads(t, "scale_rows", []*Tensor{a, col}, func() *Tensor {
+		return Mean(ScaleRows(a, col))
+	})
+}
+
+func TestScaleRowsForward(t *testing.T) {
+	a := FromSlice(2, 2, []float64{1, 2, 3, 4})
+	col := FromSlice(2, 1, []float64{10, 0.5})
+	out := ScaleRows(a, col)
+	want := []float64{10, 20, 1.5, 2}
+	for i := range want {
+		if out.Data[i] != want[i] {
+			t.Fatalf("ScaleRows[%d] = %v, want %v", i, out.Data[i], want[i])
+		}
+	}
+}
+
+func TestScaleRowsShapePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic on shape mismatch")
+		}
+	}()
+	ScaleRows(New(3, 2), New(2, 1))
+}
+
+func TestMeanRowsGrad(t *testing.T) {
+	rng := newRNG()
+	a := Randn(4, 3, 1, rng).Param()
+	w := Randn(1, 3, 1, rng)
+	checkGrads(t, "mean_rows", []*Tensor{a}, func() *Tensor {
+		return Mean(Mul(MeanRows(a), w))
+	})
+}
+
+func TestMeanRowsForward(t *testing.T) {
+	a := FromSlice(2, 2, []float64{1, 2, 3, 4})
+	m := MeanRows(a)
+	if m.Rows != 1 || m.Cols != 2 || m.Data[0] != 2 || m.Data[1] != 3 {
+		t.Fatalf("MeanRows = %v", m.Data)
+	}
+}
+
+func TestBroadcastScalarGrad(t *testing.T) {
+	rng := newRNG()
+	a := Randn(1, 1, 1, rng).Param()
+	w := Randn(4, 1, 1, rng)
+	checkGrads(t, "bcast_scalar", []*Tensor{a}, func() *Tensor {
+		return Mean(Mul(BroadcastScalar(a, 4), w))
+	})
+}
+
+func TestBroadcastScalarShapePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic on non-scalar input")
+		}
+	}()
+	BroadcastScalar(New(2, 1), 3)
+}
+
+// The minibatch-variance composition used by the GAN discriminator must be
+// differentiable end-to-end.
+func TestMinibatchVarianceGrad(t *testing.T) {
+	rng := newRNG()
+	x := Randn(4, 3, 1, rng).Param()
+	checkGrads(t, "minibatch_variance", []*Tensor{x}, func() *Tensor {
+		mean := MeanRows(x)
+		centered := Add(x, Scale(mean, -1))
+		variance := Mean(Mul(centered, centered))
+		return Mean(ConcatCols(x, BroadcastScalar(variance, x.Rows)))
+	})
+}
+
+func TestDropoutTrainingAndIdentity(t *testing.T) {
+	rng := newRNG()
+	a := Randn(50, 50, 1, rng)
+	// p<=0 or nil rng: identity (same tensor).
+	if Dropout(a, 0, rng) != a || Dropout(a, 0.5, nil) != a {
+		t.Fatal("dropout must be identity when disabled")
+	}
+	out := Dropout(a, 0.5, rng)
+	zeros := 0
+	for i, v := range out.Data {
+		if v == 0 {
+			zeros++
+		} else if math.Abs(v-2*a.Data[i]) > 1e-12 {
+			t.Fatalf("survivor %d not scaled by 1/(1-p): %v vs %v", i, v, a.Data[i])
+		}
+	}
+	frac := float64(zeros) / float64(len(out.Data))
+	if frac < 0.4 || frac > 0.6 {
+		t.Fatalf("dropout rate %v, want ≈0.5", frac)
+	}
+}
+
+func TestDropoutGrad(t *testing.T) {
+	rng := newRNG()
+	a := Randn(3, 3, 1, rng).Param()
+	// Fix the mask by reusing one dropout output within the loss closure:
+	// gradient check requires a deterministic function, so check the
+	// identity-mode gradient (p=0) plus manual mask verification above.
+	checkGrads(t, "dropout_identity", []*Tensor{a}, func() *Tensor {
+		return Mean(Dropout(a, 0, nil))
+	})
+}
+
+func TestSubGrad(t *testing.T) {
+	rng := newRNG()
+	a := Randn(2, 3, 1, rng).Param()
+	b := Randn(2, 3, 1, rng).Param()
+	checkGrads(t, "sub", []*Tensor{a, b}, func() *Tensor {
+		return Mean(Sub(a, b))
+	})
+}
+
+func TestScalarHelper(t *testing.T) {
+	s := Scalar(3.5)
+	if s.Rows != 1 || s.Cols != 1 || s.Data[0] != 3.5 {
+		t.Fatalf("Scalar = %+v", s)
+	}
+}
+
+func TestCrossEntropyAllMasked(t *testing.T) {
+	rng := newRNG()
+	logits := Randn(2, 3, 1, rng).Param()
+	loss := CrossEntropy(logits, []int{-1, -1})
+	if loss.Data[0] != 0 {
+		t.Fatalf("all-masked CE = %v, want 0", loss.Data[0])
+	}
+	loss.Backward() // must not panic or produce NaN
+	for _, g := range logits.Grad {
+		if math.IsNaN(g) {
+			t.Fatal("NaN gradient")
+		}
+	}
+}
+
+func TestGaussianNLLKnownValue(t *testing.T) {
+	// mean 0, logStd 0 (σ=1), target 0: NLL = 0.5·log(2π) ≈ 0.9189.
+	mean := New(1, 1)
+	logStd := New(1, 1)
+	loss := GaussianNLL(mean, logStd, []float64{0}, []bool{true})
+	if math.Abs(loss.Data[0]-0.9189385332046727) > 1e-12 {
+		t.Fatalf("NLL = %v", loss.Data[0])
+	}
+}
+
+func TestBCEKnownValue(t *testing.T) {
+	// logit 0, target 1: loss = log 2.
+	logits := New(1, 1)
+	loss := BCEWithLogits(logits, []float64{1})
+	if math.Abs(loss.Data[0]-math.Log(2)) > 1e-12 {
+		t.Fatalf("BCE = %v", loss.Data[0])
+	}
+}

@@ -1,0 +1,176 @@
+package trace
+
+import (
+	"bufio"
+	"encoding/csv"
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"strconv"
+
+	"cptgpt/internal/events"
+)
+
+// WriteCSV emits the dataset in the flat interchange format used by the
+// command-line tools: one event per row,
+//
+//	ue_id,device_type,timestamp,event_type
+//
+// with a header row. Rows are grouped by stream in dataset order.
+func WriteCSV(w io.Writer, d *Dataset) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write([]string{"ue_id", "device_type", "timestamp", "event_type"}); err != nil {
+		return fmt.Errorf("trace: writing CSV header: %w", err)
+	}
+	row := make([]string, 4)
+	for i := range d.Streams {
+		s := &d.Streams[i]
+		row[0] = s.UEID
+		row[1] = s.Device.String()
+		for _, e := range s.Events {
+			row[2] = strconv.FormatFloat(e.Time, 'f', -1, 64)
+			row[3] = e.Type.String()
+			if err := cw.Write(row); err != nil {
+				return fmt.Errorf("trace: writing CSV row: %w", err)
+			}
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// ReadCSV parses the format produced by WriteCSV. Consecutive rows with the
+// same ue_id are grouped into one stream; the generation must be supplied by
+// the caller since the CSV carries only event names.
+func ReadCSV(r io.Reader, gen events.Generation) (*Dataset, error) {
+	cr := csv.NewReader(r)
+	cr.FieldsPerRecord = 4
+	header, err := cr.Read()
+	if err != nil {
+		return nil, fmt.Errorf("trace: reading CSV header: %w", err)
+	}
+	if header[0] != "ue_id" {
+		return nil, fmt.Errorf("trace: unexpected CSV header %v", header)
+	}
+	d := &Dataset{Generation: gen}
+	var cur *Stream
+	for line := 2; ; line++ {
+		rec, err := cr.Read()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			return nil, fmt.Errorf("trace: reading CSV line %d: %w", line, err)
+		}
+		dev, err := events.ParseDeviceType(rec[1])
+		if err != nil {
+			return nil, fmt.Errorf("trace: CSV line %d: %w", line, err)
+		}
+		ts, err := strconv.ParseFloat(rec[2], 64)
+		if err != nil {
+			return nil, fmt.Errorf("trace: CSV line %d: bad timestamp: %w", line, err)
+		}
+		et, err := events.ParseType(rec[3])
+		if err != nil {
+			return nil, fmt.Errorf("trace: CSV line %d: %w", line, err)
+		}
+		if cur == nil || cur.UEID != rec[0] {
+			d.Streams = append(d.Streams, Stream{UEID: rec[0], Device: dev})
+			cur = &d.Streams[len(d.Streams)-1]
+		}
+		cur.Events = append(cur.Events, Event{Time: ts, Type: et})
+	}
+	return d, nil
+}
+
+// jsonlHeader is the first line of a JSONL trace file.
+type jsonlHeader struct {
+	Format     string `json:"format"`
+	Generation string `json:"generation"`
+	Streams    int    `json:"streams"`
+}
+
+// WriteJSONL emits the dataset as JSON Lines: a header object followed by
+// one Stream object per line. JSONL is the preferred on-disk format because
+// it streams and keeps per-UE grouping explicit.
+func WriteJSONL(w io.Writer, d *Dataset) error {
+	bw := bufio.NewWriter(w)
+	enc := json.NewEncoder(bw)
+	hdr := jsonlHeader{Format: "cptgpt-trace/1", Generation: d.Generation.String(), Streams: len(d.Streams)}
+	if err := enc.Encode(hdr); err != nil {
+		return fmt.Errorf("trace: writing JSONL header: %w", err)
+	}
+	for i := range d.Streams {
+		if err := enc.Encode(&d.Streams[i]); err != nil {
+			return fmt.Errorf("trace: writing stream %d: %w", i, err)
+		}
+	}
+	return bw.Flush()
+}
+
+// ReadJSONL parses the format produced by WriteJSONL.
+func ReadJSONL(r io.Reader) (*Dataset, error) {
+	dec := json.NewDecoder(bufio.NewReader(r))
+	var hdr jsonlHeader
+	if err := dec.Decode(&hdr); err != nil {
+		return nil, fmt.Errorf("trace: reading JSONL header: %w", err)
+	}
+	if hdr.Format != "cptgpt-trace/1" {
+		return nil, fmt.Errorf("trace: unsupported trace format %q", hdr.Format)
+	}
+	gen, err := events.ParseGeneration(hdr.Generation)
+	if err != nil {
+		return nil, fmt.Errorf("trace: JSONL header: %w", err)
+	}
+	d := &Dataset{Generation: gen}
+	if hdr.Streams > 0 {
+		d.Streams = make([]Stream, 0, hdr.Streams)
+	}
+	for i := 0; ; i++ {
+		var s Stream
+		if err := dec.Decode(&s); err == io.EOF {
+			break
+		} else if err != nil {
+			return nil, fmt.Errorf("trace: reading stream %d: %w", i, err)
+		}
+		d.Streams = append(d.Streams, s)
+	}
+	return d, nil
+}
+
+// SaveFile writes the dataset to path, choosing the format by extension:
+// ".csv" for CSV, anything else for JSONL.
+func SaveFile(path string, d *Dataset) (err error) {
+	f, err := os.Create(path)
+	if err != nil {
+		return fmt.Errorf("trace: creating %s: %w", path, err)
+	}
+	defer func() {
+		if cerr := f.Close(); err == nil {
+			err = cerr
+		}
+	}()
+	if isCSV(path) {
+		return WriteCSV(f, d)
+	}
+	return WriteJSONL(f, d)
+}
+
+// LoadFile reads a dataset from path, choosing the format by extension.
+// The generation argument is only consulted for CSV files (JSONL embeds it).
+func LoadFile(path string, gen events.Generation) (*Dataset, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, fmt.Errorf("trace: opening %s: %w", path, err)
+	}
+	defer f.Close()
+	if isCSV(path) {
+		return ReadCSV(f, gen)
+	}
+	return ReadJSONL(f)
+}
+
+func isCSV(path string) bool {
+	return len(path) >= 4 && path[len(path)-4:] == ".csv"
+}

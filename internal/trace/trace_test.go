@@ -1,0 +1,282 @@
+package trace
+
+import (
+	"bytes"
+	"math"
+	"path/filepath"
+	"testing"
+	"testing/quick"
+
+	"cptgpt/internal/events"
+)
+
+func sampleDataset() *Dataset {
+	return &Dataset{
+		Generation: events.Gen4G,
+		Streams: []Stream{
+			{
+				UEID:   "ue-1",
+				Device: events.Phone,
+				Events: []Event{
+					{Time: 0, Type: events.Attach},
+					{Time: 10, Type: events.S1ConnRel},
+					{Time: 100, Type: events.ServiceRequest},
+					{Time: 130, Type: events.S1ConnRel},
+				},
+			},
+			{
+				UEID:   "ue-2",
+				Device: events.Tablet,
+				Events: []Event{
+					{Time: 5, Type: events.Attach},
+					{Time: 3700, Type: events.TAU},
+				},
+			},
+		},
+	}
+}
+
+func TestInterarrivals(t *testing.T) {
+	d := sampleDataset()
+	ia := d.Streams[0].Interarrivals()
+	want := []float64{0, 10, 90, 30}
+	for i := range want {
+		if ia[i] != want[i] {
+			t.Fatalf("interarrivals %v, want %v", ia, want)
+		}
+	}
+	pooled := d.Interarrivals()
+	// stream 0 contributes {10,90,30}, stream 1 contributes {3695}.
+	if len(pooled) != 4 {
+		t.Fatalf("pooled interarrivals %v", pooled)
+	}
+}
+
+func TestEventBreakdownSums(t *testing.T) {
+	d := sampleDataset()
+	shares, vocab := d.EventBreakdown()
+	if len(shares) != len(vocab) {
+		t.Fatal("shape mismatch")
+	}
+	var sum float64
+	for _, s := range shares {
+		sum += s
+	}
+	if math.Abs(sum-1) > 1e-12 {
+		t.Fatalf("breakdown sums to %v", sum)
+	}
+	relIdx := events.VocabIndex(events.Gen4G, events.S1ConnRel)
+	if shares[relIdx] != 2.0/6.0 {
+		t.Fatalf("S1_CONN_REL share %v, want 2/6", shares[relIdx])
+	}
+}
+
+func TestFlowLengths(t *testing.T) {
+	d := sampleDataset()
+	all := d.FlowLengths(nil)
+	if all[0] != 4 || all[1] != 2 {
+		t.Fatalf("flow lengths %v", all)
+	}
+	srv := events.ServiceRequest
+	per := d.FlowLengths(&srv)
+	if per[0] != 1 || per[1] != 0 {
+		t.Fatalf("SRV_REQ lengths %v", per)
+	}
+}
+
+func TestSliceHour(t *testing.T) {
+	d := sampleDataset()
+	h0 := d.SliceHour(0)
+	if h0.NumStreams() != 2 {
+		t.Fatalf("hour 0 streams %d", h0.NumStreams())
+	}
+	// ue-2's second event is at t=3700 (hour 1).
+	if h0.Streams[1].Len() != 1 {
+		t.Fatalf("ue-2 hour-0 events %d, want 1", h0.Streams[1].Len())
+	}
+	h1 := d.SliceHour(1)
+	if h1.NumStreams() != 1 || h1.Streams[0].Len() != 1 {
+		t.Fatalf("hour 1: %+v", h1)
+	}
+	if h1.Streams[0].UEID == d.Streams[1].UEID {
+		t.Fatal("hour slices must rename UEs (treated as different UEs per hour)")
+	}
+}
+
+func TestCapLength(t *testing.T) {
+	d := sampleDataset()
+	capped := d.CapLength(3)
+	if capped.NumStreams() != 1 || capped.Streams[0].UEID != "ue-2" {
+		t.Fatalf("capped: %+v", capped.Summarize())
+	}
+}
+
+func TestFilterDeviceAndSample(t *testing.T) {
+	d := sampleDataset()
+	phones := d.FilterDevice(events.Phone)
+	if phones.NumStreams() != 1 || phones.Streams[0].UEID != "ue-1" {
+		t.Fatal("FilterDevice failed")
+	}
+	s := d.Sample(1)
+	if s.NumStreams() != 1 {
+		t.Fatal("Sample(1) failed")
+	}
+	if d.Sample(100).NumStreams() != 2 {
+		t.Fatal("oversampling should return all")
+	}
+	if d.Sample(0).NumStreams() != 0 {
+		t.Fatal("Sample(0) should be empty")
+	}
+}
+
+func TestInitialEventDist(t *testing.T) {
+	d := sampleDataset()
+	dist := d.InitialEventDist()
+	atchIdx := events.VocabIndex(events.Gen4G, events.Attach)
+	if dist[atchIdx] != 1 {
+		t.Fatalf("initial dist %v: both streams start with ATCH", dist)
+	}
+}
+
+func TestSummarize(t *testing.T) {
+	s := sampleDataset().Summarize()
+	if s.Streams != 2 || s.Events != 6 || s.MinLen != 2 || s.MaxLen != 4 {
+		t.Fatalf("summary %+v", s)
+	}
+	if s.ByDevice[events.Phone] != 1 || s.ByDevice[events.Tablet] != 1 {
+		t.Fatalf("device counts %+v", s.ByDevice)
+	}
+	if s.String() == "" {
+		t.Fatal("summary string empty")
+	}
+}
+
+func TestCSVRoundTrip(t *testing.T) {
+	d := sampleDataset()
+	var buf bytes.Buffer
+	if err := WriteCSV(&buf, d); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadCSV(&buf, events.Gen4G)
+	if err != nil {
+		t.Fatal(err)
+	}
+	assertEqualDatasets(t, d, got)
+}
+
+func TestJSONLRoundTrip(t *testing.T) {
+	d := sampleDataset()
+	var buf bytes.Buffer
+	if err := WriteJSONL(&buf, d); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadJSONL(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Generation != d.Generation {
+		t.Fatal("generation lost")
+	}
+	assertEqualDatasets(t, d, got)
+}
+
+func TestFileRoundTripBothFormats(t *testing.T) {
+	d := sampleDataset()
+	dir := t.TempDir()
+	for _, name := range []string{"trace.csv", "trace.jsonl"} {
+		path := filepath.Join(dir, name)
+		if err := SaveFile(path, d); err != nil {
+			t.Fatal(err)
+		}
+		got, err := LoadFile(path, events.Gen4G)
+		if err != nil {
+			t.Fatal(err)
+		}
+		assertEqualDatasets(t, d, got)
+	}
+}
+
+func TestReadJSONLRejectsGarbage(t *testing.T) {
+	if _, err := ReadJSONL(bytes.NewBufferString(`{"format":"other/9"}`)); err == nil {
+		t.Fatal("wrong format header must error")
+	}
+	if _, err := ReadJSONL(bytes.NewBufferString(`not json`)); err == nil {
+		t.Fatal("garbage must error")
+	}
+}
+
+func TestReadCSVRejectsBadRows(t *testing.T) {
+	bad := "ue_id,device_type,timestamp,event_type\nu1,phone,notanumber,ATCH\n"
+	if _, err := ReadCSV(bytes.NewBufferString(bad), events.Gen4G); err == nil {
+		t.Fatal("bad timestamp must error")
+	}
+	bad = "ue_id,device_type,timestamp,event_type\nu1,phone,1.5,NOPE\n"
+	if _, err := ReadCSV(bytes.NewBufferString(bad), events.Gen4G); err == nil {
+		t.Fatal("bad event must error")
+	}
+	bad = "ue_id,device_type,timestamp,event_type\nu1,fridge,1.5,ATCH\n"
+	if _, err := ReadCSV(bytes.NewBufferString(bad), events.Gen4G); err == nil {
+		t.Fatal("bad device must error")
+	}
+}
+
+func assertEqualDatasets(t *testing.T, want, got *Dataset) {
+	t.Helper()
+	if got.NumStreams() != want.NumStreams() {
+		t.Fatalf("streams %d, want %d", got.NumStreams(), want.NumStreams())
+	}
+	for i := range want.Streams {
+		ws, gs := &want.Streams[i], &got.Streams[i]
+		if ws.UEID != gs.UEID || ws.Device != gs.Device || len(ws.Events) != len(gs.Events) {
+			t.Fatalf("stream %d header mismatch", i)
+		}
+		for j := range ws.Events {
+			if ws.Events[j] != gs.Events[j] {
+				t.Fatalf("stream %d event %d: %v vs %v", i, j, ws.Events[j], gs.Events[j])
+			}
+		}
+	}
+}
+
+// Property: SortByTime yields non-decreasing timestamps and preserves the
+// event multiset.
+func TestSortByTimeProperty(t *testing.T) {
+	f := func(times []float64) bool {
+		s := Stream{UEID: "u", Device: events.Phone}
+		counts := map[float64]int{}
+		for _, x := range times {
+			if math.IsNaN(x) {
+				x = 0
+			}
+			s.Events = append(s.Events, Event{Time: x, Type: events.TAU})
+			counts[x]++
+		}
+		s.SortByTime()
+		for i := 1; i < len(s.Events); i++ {
+			if s.Events[i].Time < s.Events[i-1].Time {
+				return false
+			}
+		}
+		for _, e := range s.Events {
+			counts[e.Time]--
+		}
+		for _, c := range counts {
+			if c != 0 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCloneIsDeep(t *testing.T) {
+	d := sampleDataset()
+	c := d.Streams[0].Clone()
+	c.Events[0].Time = 999
+	if d.Streams[0].Events[0].Time == 999 {
+		t.Fatal("Clone must not share event storage")
+	}
+}
