@@ -103,6 +103,20 @@ func BenchmarkTensorMatMul128(b *testing.B) {
 	}
 }
 
+// BenchmarkTensorMatMul128Serial pins the kernel to one worker — the
+// baseline for the pool speedup (results are bit-identical either way).
+func BenchmarkTensorMatMul128Serial(b *testing.B) {
+	prev := tensor.SetParallelism(1)
+	defer tensor.SetParallelism(prev)
+	rng := stats.NewRand(1)
+	x := tensor.Randn(128, 128, 1, rng)
+	y := tensor.Randn(128, 128, 1, rng)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		tensor.MatMul(x, y)
+	}
+}
+
 func BenchmarkTensorTrainStep(b *testing.B) {
 	// One forward+backward of a 2-block transformer over a 64-token stream.
 	d, err := synthetic.Generate(synthetic.Config{
@@ -142,7 +156,10 @@ func BenchmarkTensorTrainStep(b *testing.B) {
 	}
 }
 
-func BenchmarkCPTGPTGeneratePerStream(b *testing.B) {
+// benchGenerate times batched generation of a fixed UE population and
+// reports amortized per-stream latency.
+func benchGenerate(b *testing.B, opts cptgpt.GenOpts) {
+	b.Helper()
 	l := lab(b)
 	m, err := l.CPT(events.Phone)
 	if err != nil {
@@ -150,10 +167,27 @@ func BenchmarkCPTGPTGeneratePerStream(b *testing.B) {
 	}
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		if _, err := m.Generate(cptgpt.GenOpts{NumStreams: 1, Device: events.Phone, Seed: uint64(i + 1)}); err != nil {
+		opts.Seed = uint64(i + 1)
+		if _, err := m.Generate(opts); err != nil {
 			b.Fatal(err)
 		}
 	}
+	b.ReportMetric(float64(b.Elapsed().Nanoseconds())/float64(b.N*opts.NumStreams), "ns/stream")
+}
+
+// BenchmarkCPTGPTGeneratePerStream measures the parallel batched engine at
+// the default settings (Parallelism = GOMAXPROCS, lockstep batches): a
+// UE population decoded per op, with amortized ns/stream reported. Compare
+// against ...PerStreamSerial for the parallel speedup; both paths emit
+// bit-identical streams (see internal/cptgpt batch tests).
+func BenchmarkCPTGPTGeneratePerStream(b *testing.B) {
+	benchGenerate(b, cptgpt.GenOpts{NumStreams: 64, Device: events.Phone})
+}
+
+// BenchmarkCPTGPTGeneratePerStreamSerial is the one-stream-at-a-time
+// baseline (Parallelism = 1, BatchSize = 1) over the same population.
+func BenchmarkCPTGPTGeneratePerStreamSerial(b *testing.B) {
+	benchGenerate(b, cptgpt.GenOpts{NumStreams: 64, Device: events.Phone, Parallelism: 1, BatchSize: 1})
 }
 
 func BenchmarkSMMGenerate1000(b *testing.B) {

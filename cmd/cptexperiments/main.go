@@ -19,6 +19,7 @@ import (
 	"strings"
 	"time"
 
+	cptgen "cptgpt"
 	"cptgpt/internal/experiments"
 )
 
@@ -32,14 +33,21 @@ func main() {
 		skipSlow  = flag.Bool("skip-slow", false, "skip experiments that train extra models")
 		seed      = flag.Uint64("seed", 1, "lab seed")
 		quiet     = flag.Bool("q", false, "suppress progress logging")
+		par       = flag.Int("parallelism", 0, "worker count for training and generation (0 = all cores); results are identical at any value")
+		batch     = flag.Int("batch", 0, "CPT-GPT lockstep decode batch size (0 = default)")
 	)
 	flag.Parse()
+	if *par > 0 {
+		cptgen.SetParallelism(*par)
+	}
 
 	scale, err := experiments.ParseScale(*scaleFlag)
 	if err != nil {
 		log.Fatal(err)
 	}
 	lab := experiments.NewLab(scale, *seed)
+	lab.Parallelism = *par
+	lab.BatchSize = *batch
 	if !*quiet {
 		lab.Log = func(format string, args ...any) {
 			fmt.Fprintf(os.Stderr, "[%s] "+format+"\n", append([]any{time.Now().Format("15:04:05")}, args...)...)

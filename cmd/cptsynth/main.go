@@ -32,8 +32,13 @@ func main() {
 		gen       = flag.String("gen", "4G", "generation (CSV fit inputs and netshare models)")
 		out       = flag.String("out", "synth.jsonl", "output trace path")
 		seed      = flag.Uint64("seed", 3, "random seed")
+		par       = flag.Int("parallelism", 0, "worker count for generation (0 = all cores); output is identical at any value")
+		batch     = flag.Int("batch", 0, "CPT-GPT lockstep decode batch size (0 = default)")
 	)
 	flag.Parse()
+	if *par > 0 {
+		cptgen.SetParallelism(*par)
+	}
 
 	dev, err := events.ParseDeviceType(*device)
 	if err != nil {
@@ -51,7 +56,7 @@ func main() {
 		if err != nil {
 			log.Fatal(err)
 		}
-		if d, err = m.Generate(cptgen.CPTGPTGenOpts{NumStreams: *n, Device: dev, Seed: *seed}); err != nil {
+		if d, err = m.Generate(cptgen.CPTGPTGenOpts{NumStreams: *n, Device: dev, Seed: *seed, Parallelism: *par, BatchSize: *batch}); err != nil {
 			log.Fatal(err)
 		}
 	case "netshare":
@@ -61,7 +66,7 @@ func main() {
 		if err != nil {
 			log.Fatal(err)
 		}
-		if d, err = m.Generate(cptgen.NetShareGenOpts{NumStreams: *n, Device: dev, Seed: *seed}); err != nil {
+		if d, err = m.Generate(cptgen.NetShareGenOpts{NumStreams: *n, Device: dev, Seed: *seed, Parallelism: *par}); err != nil {
 			log.Fatal(err)
 		}
 	case "smm":
@@ -80,7 +85,7 @@ func main() {
 			log.Fatal(err)
 		}
 		fmt.Printf("fitted SMM: %d clusters, %d sojourn CDFs\n", m.K(), m.NumCDFs())
-		if d, err = m.Generate(cptgen.SMMGenOpts{NumStreams: *n, Device: dev, Seed: *seed}); err != nil {
+		if d, err = m.Generate(cptgen.SMMGenOpts{NumStreams: *n, Device: dev, Seed: *seed, Parallelism: *par}); err != nil {
 			log.Fatal(err)
 		}
 	default:

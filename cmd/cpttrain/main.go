@@ -29,8 +29,12 @@ func main() {
 		epochs = flag.Int("epochs", 0, "override epoch count (0 = config default)")
 		dmodel = flag.Int("dmodel", 32, "CPT-GPT attention width")
 		seed   = flag.Uint64("seed", 7, "random seed")
+		par    = flag.Int("parallelism", 0, "tensor-kernel worker count (0 = all cores); trained weights are identical at any value")
 	)
 	flag.Parse()
+	if *par > 0 {
+		cptgen.SetParallelism(*par)
+	}
 
 	g, err := events.ParseGeneration(*gen)
 	if err != nil {

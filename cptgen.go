@@ -31,8 +31,29 @@ import (
 	"cptgpt/internal/smm"
 	"cptgpt/internal/statemachine"
 	"cptgpt/internal/synthetic"
+	"cptgpt/internal/tensor"
 	"cptgpt/internal/trace"
 )
+
+// Parallel execution. Every generator fans stream synthesis out across a
+// worker pool, and the tensor kernels shard across the same pool; output is
+// bit-identical at every parallelism degree because each stream draws only
+// from its own index-seeded RNG. Per-call knobs live on the option structs
+// (CPTGPTGenOpts/NetShareGenOpts/SMMGenOpts .Parallelism and .BatchSize,
+// CPTGPTTrainOpts.Parallelism); SetParallelism sets the process-global
+// default used when those are zero.
+
+// SetParallelism sets the process-global parallelism degree for tensor
+// kernels and stream generation (0 restores the GOMAXPROCS default). It
+// returns the previous setting so callers can scope an override.
+func SetParallelism(n int) (prev int) { return tensor.SetParallelism(n) }
+
+// Parallelism reports the effective process-global parallelism degree.
+func Parallelism() int { return tensor.Parallelism() }
+
+// DefaultBatchSize is the number of UE streams CPT-GPT decodes in lockstep
+// per batch when CPTGPTGenOpts.BatchSize is unset.
+const DefaultBatchSize = cptgpt.DefaultBatchSize
 
 // Core data model.
 type (

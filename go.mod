@@ -1,0 +1,3 @@
+module cptgpt
+
+go 1.22

@@ -1,0 +1,195 @@
+package cptgpt
+
+import (
+	"fmt"
+	"math"
+
+	"cptgpt/internal/tensor"
+)
+
+// DefaultBatchSize is the number of UE streams a BatchDecoder steps in
+// lockstep when GenOpts.BatchSize is unset. Batching amortizes scheduling
+// and cache traffic across streams; the per-stream math is unchanged.
+const DefaultBatchSize = 32
+
+// BatchDecoder steps up to capacity independent UE streams in lockstep
+// through the transformer. All per-stream state lives in shared contiguous
+// buffers: the key/value cache of block b is one slot-major slice of
+// capacity × MaxLen × DModel values, so stepping N streams touches N
+// adjacent cache regions instead of N scattered per-stream decoders.
+//
+// Each slot runs exactly the same row kernels as the serial decoder
+// (linearRowInto, layerNormRow, attendRow, mlpRowInto) over its own slice of
+// the shared buffers, and slots never read each other's state. Output is
+// therefore bit-identical to decoding every stream alone, regardless of how
+// many worker goroutines the step fans out over — the property the
+// determinism tests pin down.
+type BatchDecoder struct {
+	m        *Model
+	capacity int
+	pos      []int // per-slot position
+
+	// kc/vc hold, per block, the shared KV cache: slot-major, each slot
+	// owning MaxLen × DModel values.
+	kc, vc [][]float64
+
+	// Slot-major scratch; slot i uses rows [i*width, (i+1)*width).
+	x, q, k, v, att, tmp []float64 // capacity × DModel
+	ff                   []float64 // capacity × MLPHidden
+	scores               []float64 // capacity × MaxLen
+	hid, hid2            []float64 // capacity × widest head layer
+	evOut                []float64 // capacity × V
+	iaOut                []float64 // capacity × (1 or 2)
+	stopOut              []float64 // capacity × 2
+	outs                 []StepOut // capacity
+}
+
+// NewBatchDecoder creates a decoder that can step up to capacity streams in
+// lockstep. The decoder is reusable across batches via Reset.
+func (m *Model) NewBatchDecoder(capacity int) *BatchDecoder {
+	if capacity < 1 {
+		panic(fmt.Sprintf("cptgpt: BatchDecoder capacity must be ≥ 1, got %d", capacity))
+	}
+	dm := m.Cfg.DModel
+	d := &BatchDecoder{m: m, capacity: capacity}
+	d.pos = make([]int, capacity)
+	d.kc = make([][]float64, len(m.BlocksNN))
+	d.vc = make([][]float64, len(m.BlocksNN))
+	for i := range d.kc {
+		d.kc[i] = make([]float64, capacity*m.Cfg.MaxLen*dm)
+		d.vc[i] = make([]float64, capacity*m.Cfg.MaxLen*dm)
+	}
+	d.x = make([]float64, capacity*dm)
+	d.q = make([]float64, capacity*dm)
+	d.k = make([]float64, capacity*dm)
+	d.v = make([]float64, capacity*dm)
+	d.att = make([]float64, capacity*dm)
+	d.tmp = make([]float64, capacity*dm)
+	d.ff = make([]float64, capacity*m.Cfg.MLPHidden)
+	d.scores = make([]float64, capacity*m.Cfg.MaxLen)
+	hw := headHiddenMax(m)
+	d.hid = make([]float64, capacity*hw)
+	d.hid2 = make([]float64, capacity*hw)
+	d.evOut = make([]float64, capacity*m.Tok.V())
+	d.iaOut = make([]float64, capacity*m.IAHd.Layers[len(m.IAHd.Layers)-1].W.Cols)
+	d.stopOut = make([]float64, capacity*2)
+	d.outs = make([]StepOut, capacity)
+	return d
+}
+
+// Capacity returns the number of lockstep slots.
+func (d *BatchDecoder) Capacity() int { return d.capacity }
+
+// Pos returns slot's current position (tokens consumed).
+func (d *BatchDecoder) Pos(slot int) int { return d.pos[slot] }
+
+// Reset rewinds every slot to position 0, keeping all allocations.
+func (d *BatchDecoder) Reset() {
+	for i := range d.pos {
+		d.pos[i] = 0
+	}
+}
+
+// stepCost estimates the multiply-adds of one stream's decode step, used to
+// decide whether a batch is worth fanning out across the worker pool.
+func (d *BatchDecoder) stepCost() int {
+	dm := d.m.Cfg.DModel
+	return len(d.m.BlocksNN) * (4*dm*dm + 2*dm*d.m.Cfg.MLPHidden)
+}
+
+// Step advances each listed slot by one token and returns the head outputs,
+// one StepOut per slot in slots order. tokens is the slot-major token
+// buffer: slot s reads tokens[s*Dim() : (s+1)*Dim()]. The returned slice
+// and the EventLogits inside it alias decoder-owned scratch, valid only
+// until the next Step.
+//
+// Slots are processed independently (fanned out over the tensor worker
+// pool), so a slot panics past MaxLen exactly like the serial decoder.
+func (d *BatchDecoder) Step(slots []int, tokens []float64) []StepOut {
+	m := d.m
+	dm := m.Cfg.DModel
+	dim := m.Tok.Dim()
+	maxLen := m.Cfg.MaxLen
+	v := m.Tok.V()
+	hw := len(d.hid) / d.capacity
+	iaW := len(d.iaOut) / d.capacity
+
+	tensor.ParallelFor(len(slots), d.stepCost(), func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			slot := slots[i]
+			pos := d.pos[slot]
+			if pos >= maxLen {
+				panic("cptgpt: BatchDecoder stepped past MaxLen")
+			}
+			token := tokens[slot*dim : (slot+1)*dim]
+			x := d.x[slot*dm : (slot+1)*dm]
+			q := d.q[slot*dm : (slot+1)*dm]
+			k := d.k[slot*dm : (slot+1)*dm]
+			vv := d.v[slot*dm : (slot+1)*dm]
+			att := d.att[slot*dm : (slot+1)*dm]
+			tmp := d.tmp[slot*dm : (slot+1)*dm]
+			ff := d.ff[slot*m.Cfg.MLPHidden : (slot+1)*m.Cfg.MLPHidden]
+			scores := d.scores[slot*maxLen : (slot+1)*maxLen]
+			hid := d.hid[slot*hw : (slot+1)*hw]
+			hid2 := d.hid2[slot*hw : (slot+1)*hw]
+
+			// Token projection + positional embedding.
+			linearRowInto(x, token, m.InProj)
+			pe := m.PosEmb.Data[pos*dm : (pos+1)*dm]
+			for j := range x {
+				x[j] += pe[j]
+			}
+
+			for bi, b := range m.BlocksNN {
+				// Attention sub-layer (pre-norm, residual) over this slot's
+				// contiguous region of the shared cache.
+				cacheLo := slot * maxLen * dm
+				kc := d.kc[bi][cacheLo : cacheLo+(pos+1)*dm]
+				vc := d.vc[bi][cacheLo : cacheLo+(pos+1)*dm]
+				layerNormRow(tmp, x, b.LN1)
+				linearRowInto(q, tmp, b.Attn.Wq)
+				linearRowInto(k, tmp, b.Attn.Wk)
+				linearRowInto(vv, tmp, b.Attn.Wv)
+				copy(kc[pos*dm:], k)
+				copy(vc[pos*dm:], vv)
+				attendRow(att, q, kc, vc, pos+1, b.Attn.Heads, dm, scores)
+				linearRowInto(tmp, att, b.Attn.Wo)
+				for j := range x {
+					x[j] += tmp[j]
+				}
+
+				// Feed-forward sub-layer (pre-norm, residual).
+				layerNormRow(tmp, x, b.LN2)
+				linearRowInto(ff, tmp, b.FF.In)
+				for j := range ff {
+					ff[j] = gelu(ff[j])
+				}
+				linearRowInto(tmp, ff, b.FF.Out)
+				for j := range x {
+					x[j] += tmp[j]
+				}
+			}
+
+			layerNormRow(tmp, x, m.Final)
+
+			evOut := d.evOut[slot*v : (slot+1)*v]
+			iaOut := d.iaOut[slot*iaW : (slot+1)*iaW]
+			stopOut := d.stopOut[slot*2 : (slot+1)*2]
+			mlpRowInto(evOut, hid, hid2, tmp, m.EventHd)
+			mlpRowInto(iaOut, hid, hid2, tmp, m.IAHd)
+			mlpRowInto(stopOut, hid, hid2, tmp, m.StopHd)
+
+			out := &d.outs[i]
+			out.EventLogits = evOut
+			out.IAMean = iaOut[0]
+			if m.Cfg.DistHead {
+				out.IALogStd = math.Min(math.Max(iaOut[1], -6), 2)
+			} else {
+				out.IALogStd = math.NaN()
+			}
+			out.StopLogits = [2]float64{stopOut[0], stopOut[1]}
+			d.pos[slot] = pos + 1
+		}
+	})
+	return d.outs[:len(slots)]
+}

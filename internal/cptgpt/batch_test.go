@@ -1,0 +1,169 @@
+package cptgpt
+
+import (
+	"fmt"
+	"testing"
+
+	"cptgpt/internal/events"
+	"cptgpt/internal/stats"
+	"cptgpt/internal/tensor"
+	"cptgpt/internal/trace"
+)
+
+// serialReference generates opts.NumStreams streams through the serial
+// one-stream-at-a-time decoder — the reference the batched engine must
+// reproduce bit-for-bit.
+func serialReference(t *testing.T, m *Model, opts GenOpts) []trace.Stream {
+	t.Helper()
+	if opts.Temperature <= 0 {
+		opts.Temperature = 1 // Generate's own normalization
+	}
+	init, err := stats.NewCategorical(m.InitialDist)
+	if err != nil {
+		t.Fatal(err)
+	}
+	streams := make([]trace.Stream, opts.NumStreams)
+	for i := range streams {
+		rng := stats.NewRand(streamSeed(opts.Seed, i))
+		streams[i] = m.sampleStream(i, opts, init, rng)
+	}
+	return streams
+}
+
+// sameStreams requires exact equality — identical event types and
+// bit-identical timestamps — between two generated stream sets.
+func sameStreams(t *testing.T, label string, want, got []trace.Stream) {
+	t.Helper()
+	if len(want) != len(got) {
+		t.Fatalf("%s: %d streams, want %d", label, len(got), len(want))
+	}
+	for i := range want {
+		w, g := want[i], got[i]
+		if w.UEID != g.UEID || w.Device != g.Device {
+			t.Fatalf("%s: stream %d identity %s/%s, want %s/%s", label, i, g.UEID, g.Device, w.UEID, w.Device)
+		}
+		if len(w.Events) != len(g.Events) {
+			t.Fatalf("%s: stream %d has %d events, want %d", label, i, len(g.Events), len(w.Events))
+		}
+		for j := range w.Events {
+			if w.Events[j].Type != g.Events[j].Type || w.Events[j].Time != g.Events[j].Time {
+				t.Fatalf("%s: stream %d event %d = (%v, %s), want (%v, %s)",
+					label, i, j, g.Events[j].Time, g.Events[j].Type, w.Events[j].Time, w.Events[j].Type)
+			}
+		}
+	}
+}
+
+// TestBatchedGenerateMatchesSerial is the determinism guarantee of the
+// batched engine: for a fixed seed, Generate emits bit-identical streams at
+// every Parallelism × BatchSize combination, all equal to the serial
+// reference path.
+func TestBatchedGenerateMatchesSerial(t *testing.T) {
+	d := testTrainingData(t, 60)
+	tk := FitTokenizer(d)
+	m, err := NewModel(smallConfig(), tk)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	base := GenOpts{NumStreams: 23, Device: events.Phone, Seed: 99, StartWindow: 30}
+	want := serialReference(t, m, base)
+
+	for _, c := range []struct{ par, batch int }{
+		{1, 1}, {1, 23}, {8, 1}, {8, 4}, {3, 7}, {8, 64},
+	} {
+		opts := base
+		opts.Parallelism = c.par
+		opts.BatchSize = c.batch
+		got, err := m.Generate(opts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		sameStreams(t, fmt.Sprintf("parallelism=%d batch=%d", c.par, c.batch), want, got.Streams)
+	}
+}
+
+// TestBatchedGenerateNoDistHead covers the Table 8 ablation path (scalar
+// interarrival head) through the batched engine.
+func TestBatchedGenerateNoDistHead(t *testing.T) {
+	d := testTrainingData(t, 60)
+	tk := FitTokenizer(d)
+	cfg := smallConfig()
+	cfg.DistHead = false
+	m, err := NewModel(cfg, tk)
+	if err != nil {
+		t.Fatal(err)
+	}
+	base := GenOpts{NumStreams: 9, Device: events.Tablet, Seed: 5}
+	want := serialReference(t, m, base)
+	got, err := m.Generate(GenOpts{NumStreams: 9, Device: events.Tablet, Seed: 5, Parallelism: 4, BatchSize: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sameStreams(t, "no-dist-head", want, got.Streams)
+}
+
+// TestBatchDecoderMatchesDecoder steps the same token sequences through the
+// serial decoder and through interleaved BatchDecoder slots, requiring
+// bit-identical head outputs at every position.
+func TestBatchDecoderMatchesDecoder(t *testing.T) {
+	d := testTrainingData(t, 40)
+	tk := FitTokenizer(d)
+	m, err := NewModel(smallConfig(), tk)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dim := tk.Dim()
+
+	// Collect a few encodable streams' token matrices.
+	var encs []*tensor.Tensor
+	for i := range d.Streams {
+		if len(d.Streams[i].Events) >= 4 && len(d.Streams[i].Events) <= m.Cfg.MaxLen {
+			enc, _, err := tk.EncodeStream(&d.Streams[i])
+			if err != nil {
+				t.Fatal(err)
+			}
+			encs = append(encs, enc)
+			if len(encs) == 3 {
+				break
+			}
+		}
+	}
+	if len(encs) < 2 {
+		t.Skip("not enough suitable streams in tiny dataset")
+	}
+
+	bd := m.NewBatchDecoder(len(encs))
+	serial := make([]*decoder, len(encs))
+	for i := range serial {
+		serial[i] = newDecoder(m)
+	}
+
+	toks := make([]float64, len(encs)*dim)
+	for step := 0; ; step++ {
+		var slots []int
+		for i, enc := range encs {
+			if step < enc.Rows {
+				slots = append(slots, i)
+				copy(toks[i*dim:(i+1)*dim], enc.Data[step*dim:(step+1)*dim])
+			}
+		}
+		if len(slots) == 0 {
+			break
+		}
+		outs := bd.Step(slots, toks)
+		for j, slot := range slots {
+			want := serial[slot].step(encs[slot].Data[step*dim : (step+1)*dim])
+			got := outs[j]
+			for k := range want.EventLogits {
+				if want.EventLogits[k] != got.EventLogits[k] {
+					t.Fatalf("slot %d step %d event logit %d: %v != %v", slot, step, k, got.EventLogits[k], want.EventLogits[k])
+				}
+			}
+			if want.IAMean != got.IAMean || want.IALogStd != got.IALogStd || want.StopLogits != got.StopLogits {
+				t.Fatalf("slot %d step %d heads differ: got (%v %v %v), want (%v %v %v)",
+					slot, step, got.IAMean, got.IALogStd, got.StopLogits, want.IAMean, want.IALogStd, want.StopLogits)
+			}
+		}
+	}
+}

@@ -158,23 +158,23 @@ func TestDecoderMatchesForward(t *testing.T) {
 
 	dec := newDecoder(m)
 	dim := tk.Dim()
-	var out headsOut
+	var out StepOut
 	for r := 0; r < enc.Rows; r++ {
 		out = dec.step(enc.Data[r*dim : (r+1)*dim])
 		// Compare against the tape forward at this row.
 		for j := 0; j < tk.V(); j++ {
-			if diff := math.Abs(out.eventLogits[j] - h.EventLogits.At(r, j)); diff > 1e-9 {
+			if diff := math.Abs(out.EventLogits[j] - h.EventLogits.At(r, j)); diff > 1e-9 {
 				t.Fatalf("row %d event logit %d differs by %g", r, j, diff)
 			}
 		}
-		if diff := math.Abs(out.iaMean - h.IAMean.At(r, 0)); diff > 1e-9 {
+		if diff := math.Abs(out.IAMean - h.IAMean.At(r, 0)); diff > 1e-9 {
 			t.Fatalf("row %d iaMean differs by %g", r, diff)
 		}
-		if diff := math.Abs(out.iaLogStd - h.IALogStd.At(r, 0)); diff > 1e-9 {
+		if diff := math.Abs(out.IALogStd - h.IALogStd.At(r, 0)); diff > 1e-9 {
 			t.Fatalf("row %d iaLogStd differs by %g", r, diff)
 		}
 		for j := 0; j < 2; j++ {
-			if diff := math.Abs(out.stopLogits[j] - h.StopLogits.At(r, j)); diff > 1e-9 {
+			if diff := math.Abs(out.StopLogits[j] - h.StopLogits.At(r, j)); diff > 1e-9 {
 				t.Fatalf("row %d stop logit %d differs by %g", r, j, diff)
 			}
 		}

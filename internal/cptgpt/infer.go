@@ -11,42 +11,80 @@ import (
 // token per step instead of the whole prefix, which is what makes the
 // scalability experiment (Figure 6) tractable on a CPU. Its output is
 // verified against Model.Forward in the package tests.
+//
+// The decoder owns all of its scratch, so a step performs no allocations in
+// steady state; BatchDecoder in batch.go runs many of these row kernels in
+// lockstep over a shared cache layout.
 type decoder struct {
 	m   *Model
 	pos int
-	// kc/vc hold, per block, the cached keys/values: pos rows × DModel.
+	// kc/vc hold, per block, the cached keys/values: pos rows × DModel,
+	// pre-sized to MaxLen rows so appends never reallocate.
 	kc [][]float64
 	vc [][]float64
 	// scratch buffers reused across steps
-	x, q, k, v, att, ff []float64
+	x, q, k, v, att, tmp []float64
+	ff                   []float64
+	scores               []float64 // attention weights over cached positions
+	hid, hid2            []float64 // MLP-head hidden activations (ping-pong)
+	evOut                []float64 // event-head output (V logits)
+	iaOut                []float64 // interarrival-head output (1 or 2)
+	stopOut              []float64 // stop-head output (2 logits)
 }
 
 // newDecoder creates an incremental decoder for m.
 func newDecoder(m *Model) *decoder {
 	d := &decoder{m: m}
+	dm := m.Cfg.DModel
 	d.kc = make([][]float64, len(m.BlocksNN))
 	d.vc = make([][]float64, len(m.BlocksNN))
-	dm := m.Cfg.DModel
+	for i := range d.kc {
+		d.kc[i] = make([]float64, 0, m.Cfg.MaxLen*dm)
+		d.vc[i] = make([]float64, 0, m.Cfg.MaxLen*dm)
+	}
 	d.x = make([]float64, dm)
 	d.q = make([]float64, dm)
 	d.k = make([]float64, dm)
 	d.v = make([]float64, dm)
 	d.att = make([]float64, dm)
+	d.tmp = make([]float64, dm)
 	d.ff = make([]float64, m.Cfg.MLPHidden)
+	d.scores = make([]float64, m.Cfg.MaxLen)
+	d.hid = make([]float64, headHiddenMax(m))
+	d.hid2 = make([]float64, headHiddenMax(m))
+	d.evOut = make([]float64, m.Tok.V())
+	d.iaOut = make([]float64, m.IAHd.Layers[len(m.IAHd.Layers)-1].W.Cols)
+	d.stopOut = make([]float64, 2)
 	return d
 }
 
-// headsOut carries the per-step raw head outputs.
-type headsOut struct {
-	eventLogits []float64
-	iaMean      float64
-	iaLogStd    float64 // NaN when the distribution head is disabled
-	stopLogits  [2]float64
+// headHiddenMax returns the widest intermediate layer across the three
+// output heads, sizing the shared hidden scratch.
+func headHiddenMax(m *Model) int {
+	w := 1
+	for _, h := range []*nn.MLP{m.EventHd, m.IAHd, m.StopHd} {
+		for _, l := range h.Layers {
+			if l.W.Cols > w {
+				w = l.W.Cols
+			}
+		}
+	}
+	return w
+}
+
+// StepOut carries the raw head outputs of one decode step for one stream.
+// EventLogits aliases decoder-owned scratch and is valid only until the
+// next step of the same decoder (or decoder slot).
+type StepOut struct {
+	EventLogits []float64
+	IAMean      float64
+	IALogStd    float64 // NaN when the distribution head is disabled
+	StopLogits  [2]float64
 }
 
 // step consumes one token (d_token values) and returns the head outputs at
 // the new position. It panics if the position exceeds MaxLen.
-func (d *decoder) step(token []float64) headsOut {
+func (d *decoder) step(token []float64) StepOut {
 	m := d.m
 	dm := m.Cfg.DModel
 	if d.pos >= m.Cfg.MaxLen {
@@ -54,60 +92,23 @@ func (d *decoder) step(token []float64) headsOut {
 	}
 
 	// Token projection + positional embedding.
-	linearRow(d.x, token, m.InProj)
+	linearRowInto(d.x, token, m.InProj)
 	pe := m.PosEmb.Data[d.pos*dm : (d.pos+1)*dm]
 	for i := range d.x {
 		d.x[i] += pe[i]
 	}
 
-	tmp := make([]float64, dm)
+	tmp := d.tmp
 	for bi, b := range m.BlocksNN {
 		// Attention sub-layer (pre-norm, residual).
 		layerNormRow(tmp, d.x, b.LN1)
-		linearRow(d.q, tmp, b.Attn.Wq)
-		linearRow(d.k, tmp, b.Attn.Wk)
-		linearRow(d.v, tmp, b.Attn.Wv)
+		linearRowInto(d.q, tmp, b.Attn.Wq)
+		linearRowInto(d.k, tmp, b.Attn.Wk)
+		linearRowInto(d.v, tmp, b.Attn.Wv)
 		d.kc[bi] = append(d.kc[bi], d.k...)
 		d.vc[bi] = append(d.vc[bi], d.v...)
-		nPos := d.pos + 1
-		heads := b.Attn.Heads
-		dh := dm / heads
-		scale := 1 / math.Sqrt(float64(dh))
-		for h := 0; h < heads; h++ {
-			lo := h * dh
-			// scores over all cached positions for this head
-			scores := make([]float64, nPos)
-			maxv := math.Inf(-1)
-			for t := 0; t < nPos; t++ {
-				kRow := d.kc[bi][t*dm+lo : t*dm+lo+dh]
-				var s float64
-				for j := 0; j < dh; j++ {
-					s += d.q[lo+j] * kRow[j]
-				}
-				s *= scale
-				scores[t] = s
-				if s > maxv {
-					maxv = s
-				}
-			}
-			var sum float64
-			for t := range scores {
-				scores[t] = math.Exp(scores[t] - maxv)
-				sum += scores[t]
-			}
-			inv := 1 / sum
-			for j := 0; j < dh; j++ {
-				d.att[lo+j] = 0
-			}
-			for t := 0; t < nPos; t++ {
-				w := scores[t] * inv
-				vRow := d.vc[bi][t*dm+lo : t*dm+lo+dh]
-				for j := 0; j < dh; j++ {
-					d.att[lo+j] += w * vRow[j]
-				}
-			}
-		}
-		linearRow(tmp, d.att, b.Attn.Wo)
+		attendRow(d.att, d.q, d.kc[bi], d.vc[bi], d.pos+1, b.Attn.Heads, dm, d.scores)
+		linearRowInto(tmp, d.att, b.Attn.Wo)
 		for i := range d.x {
 			d.x[i] += tmp[i]
 		}
@@ -126,28 +127,67 @@ func (d *decoder) step(token []float64) headsOut {
 
 	layerNormRow(tmp, d.x, m.Final)
 
-	var out headsOut
-	out.eventLogits = mlpRow(tmp, m.EventHd)
-	ia := mlpRow(tmp, m.IAHd)
-	out.iaMean = ia[0]
+	var out StepOut
+	mlpRowInto(d.evOut, d.hid, d.hid2, tmp, m.EventHd)
+	out.EventLogits = d.evOut
+	mlpRowInto(d.iaOut, d.hid, d.hid2, tmp, m.IAHd)
+	out.IAMean = d.iaOut[0]
 	if m.Cfg.DistHead {
-		out.iaLogStd = math.Min(math.Max(ia[1], -6), 2)
+		out.IALogStd = math.Min(math.Max(d.iaOut[1], -6), 2)
 	} else {
-		out.iaLogStd = math.NaN()
+		out.IALogStd = math.NaN()
 	}
-	stop := mlpRow(tmp, m.StopHd)
-	out.stopLogits = [2]float64{stop[0], stop[1]}
+	mlpRowInto(d.stopOut, d.hid, d.hid2, tmp, m.StopHd)
+	out.StopLogits = [2]float64{d.stopOut[0], d.stopOut[1]}
 
 	d.pos++
 	return out
 }
 
-// linearRow computes dst = row·W + b for a single row; dst must have
-// length = l.W.Cols and may not alias row.
-func linearRow(dst, row []float64, l *nn.Linear) {
-	linearRowInto(dst, row, l)
+// attendRow computes one stream's multi-head attention output for the newest
+// query row q against nPos cached key/value rows, writing into att (len dm).
+// scores must have capacity ≥ nPos. This is the shared row kernel of the
+// serial decoder and BatchDecoder, so both paths are bit-identical.
+func attendRow(att, q, kc, vc []float64, nPos, heads, dm int, scores []float64) {
+	dh := dm / heads
+	scale := 1 / math.Sqrt(float64(dh))
+	scores = scores[:nPos]
+	for h := 0; h < heads; h++ {
+		lo := h * dh
+		maxv := math.Inf(-1)
+		for t := 0; t < nPos; t++ {
+			kRow := kc[t*dm+lo : t*dm+lo+dh]
+			var s float64
+			for j := 0; j < dh; j++ {
+				s += q[lo+j] * kRow[j]
+			}
+			s *= scale
+			scores[t] = s
+			if s > maxv {
+				maxv = s
+			}
+		}
+		var sum float64
+		for t := range scores {
+			scores[t] = math.Exp(scores[t] - maxv)
+			sum += scores[t]
+		}
+		inv := 1 / sum
+		for j := 0; j < dh; j++ {
+			att[lo+j] = 0
+		}
+		for t := 0; t < nPos; t++ {
+			w := scores[t] * inv
+			vRow := vc[t*dm+lo : t*dm+lo+dh]
+			for j := 0; j < dh; j++ {
+				att[lo+j] += w * vRow[j]
+			}
+		}
+	}
 }
 
+// linearRowInto computes dst = row·W + b for a single row; dst must have
+// length = l.W.Cols and may not alias row.
 func linearRowInto(dst, row []float64, l *nn.Linear) {
 	cols := l.W.Cols
 	copy(dst, l.B.Data)
@@ -182,13 +222,25 @@ func layerNormRow(dst, row []float64, l *nn.LayerNorm) {
 	}
 }
 
-// mlpRow applies an MLP (ReLU between layers) to a single row.
-func mlpRow(row []float64, m *nn.MLP) []float64 {
+// mlpRowInto applies an MLP (ReLU between layers) to a single row, writing
+// the final layer into dst (len = last layer width). hid and hid2 are
+// ping-pong scratch, each wide enough for every intermediate layer (they
+// keep consecutive layers from aliasing); row is never modified.
+func mlpRowInto(dst, hid, hid2, row []float64, m *nn.MLP) {
 	cur := row
+	last := len(m.Layers) - 1
 	for i, l := range m.Layers {
-		next := make([]float64, l.W.Cols)
+		var next []float64
+		switch {
+		case i == last:
+			next = dst[:l.W.Cols]
+		case i%2 == 0:
+			next = hid[:l.W.Cols]
+		default:
+			next = hid2[:l.W.Cols]
+		}
 		linearRowInto(next, cur, l)
-		if i+1 < len(m.Layers) {
+		if i != last {
 			for j := range next {
 				if next[j] < 0 {
 					next[j] = 0
@@ -197,7 +249,6 @@ func mlpRow(row []float64, m *nn.MLP) []float64 {
 		}
 		cur = next
 	}
-	return cur
 }
 
 func gelu(x float64) float64 {

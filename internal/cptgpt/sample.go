@@ -4,11 +4,11 @@ import (
 	"fmt"
 	"math"
 	"math/rand/v2"
-	"runtime"
 	"sync"
 
 	"cptgpt/internal/events"
 	"cptgpt/internal/stats"
+	"cptgpt/internal/tensor"
 	"cptgpt/internal/trace"
 )
 
@@ -24,8 +24,18 @@ type GenOpts struct {
 	Seed uint64
 	// Temperature scales event/stop logits at sampling time (1 = faithful).
 	Temperature float64
-	// Workers bounds sampling concurrency; 0 means GOMAXPROCS.
+	// Parallelism bounds cross-stream decoding concurrency; 0 means the
+	// tensor-layer default (GOMAXPROCS, or tensor.SetParallelism's value).
+	// Output is identical at every setting: each stream's randomness comes
+	// from its own index-seeded RNG.
+	Parallelism int
+	// Workers is a deprecated alias for Parallelism, honored when
+	// Parallelism is 0.
 	Workers int
+	// BatchSize is the number of streams decoded in lockstep per
+	// BatchDecoder batch; 0 means DefaultBatchSize. Output is identical at
+	// every batch size.
+	BatchSize int
 	// StartWindow, when positive, offsets each stream's start uniformly in
 	// [0, StartWindow) seconds so downstream consumers (e.g. an MCN) do
 	// not see a synchronized t=0 attach storm. Interarrivals, sojourns and
@@ -33,11 +43,36 @@ type GenOpts struct {
 	StartWindow float64
 }
 
+// parallelism resolves the effective worker count.
+func (o GenOpts) parallelism() int {
+	switch {
+	case o.Parallelism > 0:
+		return o.Parallelism
+	case o.Workers > 0:
+		return o.Workers
+	default:
+		return tensor.Parallelism()
+	}
+}
+
+// streamSeed derives stream i's RNG seed; the per-stream RNG is the only
+// randomness in decoding, which is what makes generation deterministic
+// regardless of parallelism and batching.
+func streamSeed(seed uint64, i int) uint64 {
+	return seed ^ (uint64(i)+1)*0x9e3779b97f4a7c15
+}
+
 // Generate synthesizes a dataset of NumStreams independent UE streams by
 // autoregressive decoding. Each stream starts from a bootstrap token whose
 // event type is drawn from the model's released initial-event-type
 // distribution, with interarrival and stop flag zero (§4.5), and decoding
 // runs until the model emits a token with stop flag 1 or MaxLen is reached.
+//
+// Streams are decoded in lockstep batches of BatchSize through a shared-
+// cache BatchDecoder, and batches fan out across Parallelism workers. For a
+// fixed Seed the output is bit-identical at every Parallelism and BatchSize
+// (including the serial reference path), because every stream consumes only
+// its own index-seeded RNG and its own slice of the batch state.
 func (m *Model) Generate(opts GenOpts) (*trace.Dataset, error) {
 	if opts.NumStreams <= 0 {
 		return nil, fmt.Errorf("cptgpt: NumStreams must be positive, got %d", opts.NumStreams)
@@ -45,12 +80,17 @@ func (m *Model) Generate(opts GenOpts) (*trace.Dataset, error) {
 	if opts.Temperature <= 0 {
 		opts.Temperature = 1
 	}
-	workers := opts.Workers
-	if workers <= 0 {
-		workers = runtime.GOMAXPROCS(0)
+	batch := opts.BatchSize
+	if batch <= 0 {
+		batch = DefaultBatchSize
 	}
-	if workers > opts.NumStreams {
-		workers = opts.NumStreams
+	if batch > opts.NumStreams {
+		batch = opts.NumStreams
+	}
+	numBatches := (opts.NumStreams + batch - 1) / batch
+	workers := opts.parallelism()
+	if workers > numBatches {
+		workers = numBatches
 	}
 
 	init, err := stats.NewCategorical(m.InitialDist)
@@ -65,14 +105,17 @@ func (m *Model) Generate(opts GenOpts) (*trace.Dataset, error) {
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
-			for i := range jobs {
-				rng := stats.NewRand(opts.Seed ^ (uint64(i)+1)*0x9e3779b97f4a7c15)
-				streams[i] = m.sampleStream(i, opts, init, rng)
+			// One decoder per worker, reused (Reset) across its batches.
+			dec := m.NewBatchDecoder(batch)
+			for bi := range jobs {
+				lo := bi * batch
+				hi := min(lo+batch, opts.NumStreams)
+				m.sampleBatch(dec, streams[lo:hi], lo, opts, init)
 			}
 		}()
 	}
-	for i := 0; i < opts.NumStreams; i++ {
-		jobs <- i
+	for bi := 0; bi < numBatches; bi++ {
+		jobs <- bi
 	}
 	close(jobs)
 	wg.Wait()
@@ -80,7 +123,78 @@ func (m *Model) Generate(opts GenOpts) (*trace.Dataset, error) {
 	return &trace.Dataset{Generation: m.Cfg.Generation, Streams: streams}, nil
 }
 
-// sampleStream decodes one UE stream.
+// sampleBatch decodes len(out) UE streams (global indices baseIdx+i) in
+// lockstep through dec. Streams leave the active set as they emit stop
+// flags; the batch finishes when every stream has stopped or hit MaxLen.
+func (m *Model) sampleBatch(dec *BatchDecoder, out []trace.Stream, baseIdx int, opts GenOpts, init *stats.Categorical) {
+	n := len(out)
+	dec.Reset()
+	dim := m.Tok.Dim()
+	vocab := m.Tok.Vocab()
+
+	rngs := make([]*rand.Rand, n)
+	times := make([]float64, n)
+	toks := make([]float64, n*dim)
+	probs := make([]float64, m.Tok.V())
+	active := make([]int, 0, n)
+
+	// Bootstrap every stream exactly as the serial reference path does,
+	// consuming the same RNG draws in the same order.
+	for i := range out {
+		rng := stats.NewRand(streamSeed(opts.Seed, baseIdx+i))
+		rngs[i] = rng
+		s := &out[i]
+		s.UEID = fmt.Sprintf("gen-%s-%06d", opts.Device, baseIdx+i)
+		s.Device = opts.Device
+
+		evIdx := init.Sample(rng)
+		m.Tok.writeToken(toks[i*dim:(i+1)*dim], evIdx, 0, 0)
+		if opts.StartWindow > 0 {
+			times[i] = rng.Float64() * opts.StartWindow
+		}
+		s.Events = append(s.Events, trace.Event{Time: times[i], Type: vocab[evIdx]})
+		if len(s.Events) < m.Cfg.MaxLen {
+			active = append(active, i)
+		}
+	}
+
+	next := make([]int, 0, n)
+	for len(active) > 0 {
+		outs := dec.Step(active, toks)
+		next = next[:0]
+		for j, slot := range active {
+			so := outs[j]
+			rng := rngs[slot]
+			s := &out[slot]
+
+			nextEv := sampleLogitsInto(so.EventLogits, opts.Temperature, rng, probs)
+			var scaled float64
+			if m.Cfg.DistHead {
+				std := math.Exp(so.IALogStd)
+				scaled = so.IAMean + std*rng.NormFloat64()
+			} else {
+				// Ablation (Table 8, "No dist. pred."): deterministic scalar.
+				scaled = so.IAMean
+			}
+			scaled = math.Min(math.Max(scaled, 0), 1)
+			ia := m.Tok.UnscaleIA(scaled)
+			stopIdx := sampleLogitsInto(so.StopLogits[:], opts.Temperature, rng, probs)
+
+			times[slot] += ia
+			s.Events = append(s.Events, trace.Event{Time: times[slot], Type: vocab[nextEv]})
+			if stopIdx == 1 || len(s.Events) >= m.Cfg.MaxLen {
+				continue
+			}
+			m.Tok.writeToken(toks[slot*dim:(slot+1)*dim], nextEv, scaled, stopIdx)
+			next = append(next, slot)
+		}
+		active, next = next, active
+	}
+}
+
+// sampleStream decodes one UE stream through the serial decoder. It is the
+// reference implementation the batched path is tested against (identical
+// output for identical opts.Seed and stream index).
 func (m *Model) sampleStream(idx int, opts GenOpts, init *stats.Categorical, rng *rand.Rand) trace.Stream {
 	vocab := m.Tok.Vocab()
 	dec := newDecoder(m)
@@ -103,18 +217,18 @@ func (m *Model) sampleStream(idx int, opts GenOpts, init *stats.Categorical, rng
 	for len(s.Events) < m.Cfg.MaxLen {
 		out := dec.step(tok)
 
-		nextEv := sampleLogits(out.eventLogits, opts.Temperature, rng)
+		nextEv := sampleLogits(out.EventLogits, opts.Temperature, rng)
 		var scaled float64
 		if m.Cfg.DistHead {
-			std := math.Exp(out.iaLogStd)
-			scaled = out.iaMean + std*rng.NormFloat64()
+			std := math.Exp(out.IALogStd)
+			scaled = out.IAMean + std*rng.NormFloat64()
 		} else {
 			// Ablation (Table 8, "No dist. pred."): deterministic scalar.
-			scaled = out.iaMean
+			scaled = out.IAMean
 		}
 		scaled = math.Min(math.Max(scaled, 0), 1)
 		ia := m.Tok.UnscaleIA(scaled)
-		stopIdx := sampleLogits(out.stopLogits[:], opts.Temperature, rng)
+		stopIdx := sampleLogits(out.StopLogits[:], opts.Temperature, rng)
 
 		t += ia
 		s.Events = append(s.Events, trace.Event{Time: t, Type: vocab[nextEv]})
@@ -128,6 +242,12 @@ func (m *Model) sampleStream(idx int, opts GenOpts, init *stats.Categorical, rng
 
 // sampleLogits draws an index from softmax(logits / temperature).
 func sampleLogits(logits []float64, temp float64, rng *rand.Rand) int {
+	return sampleLogitsInto(logits, temp, rng, make([]float64, len(logits)))
+}
+
+// sampleLogitsInto is sampleLogits with caller-provided probability scratch
+// (len(probs) ≥ len(logits)).
+func sampleLogitsInto(logits []float64, temp float64, rng *rand.Rand, probs []float64) int {
 	maxv := math.Inf(-1)
 	for _, v := range logits {
 		if v/temp > maxv {
@@ -135,7 +255,7 @@ func sampleLogits(logits []float64, temp float64, rng *rand.Rand) int {
 		}
 	}
 	var sum float64
-	probs := make([]float64, len(logits))
+	probs = probs[:len(logits)]
 	for i, v := range logits {
 		p := math.Exp(v/temp - maxv)
 		probs[i] = p

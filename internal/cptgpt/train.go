@@ -39,6 +39,11 @@ type TrainOpts struct {
 	Probe func() float64
 	// ProbeEvery defaults to 1.
 	ProbeEvery int
+	// Parallelism, when > 0, overrides the process-global tensor-kernel
+	// parallelism (tensor.SetParallelism) for the duration of the run. The
+	// sharded kernels are bit-identical to the serial path, so the trained
+	// weights do not depend on this setting.
+	Parallelism int
 }
 
 // TrainResult reports what a training run did.
@@ -87,6 +92,10 @@ func Train(m *Model, d *trace.Dataset, opts TrainOpts) (*TrainResult, error) {
 	}
 	if opts.EarlyStopDelta == 0 {
 		opts.EarlyStopDelta = 1e-3
+	}
+	if opts.Parallelism > 0 {
+		prev := tensor.SetParallelism(opts.Parallelism)
+		defer tensor.SetParallelism(prev)
 	}
 
 	// Encode eligible streams once.

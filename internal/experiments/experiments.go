@@ -139,6 +139,13 @@ type Lab struct {
 	Seed  uint64
 	// Log, when non-nil, receives progress lines (training announcements).
 	Log func(format string, args ...any)
+	// Parallelism bounds per-generator sampling concurrency; 0 means the
+	// tensor-layer default (GOMAXPROCS, or tensor.SetParallelism's value).
+	// Generated datasets are identical at every setting.
+	Parallelism int
+	// BatchSize is the CPT-GPT lockstep decode batch; 0 means the
+	// generator default.
+	BatchSize int
 
 	sz sizes
 
@@ -443,19 +450,19 @@ func (l *Lab) GeneratedN(id GeneratorID, dev events.DeviceType, n int) (*trace.D
 		if ferr != nil {
 			return nil, ferr
 		}
-		d, err = m.Generate(smm.GenOpts{NumStreams: n, Device: dev, Seed: seed})
+		d, err = m.Generate(smm.GenOpts{NumStreams: n, Device: dev, Seed: seed, Parallelism: l.Parallelism})
 	case GenNetShare:
 		m, ferr := l.NetShare(dev)
 		if ferr != nil {
 			return nil, ferr
 		}
-		d, err = m.Generate(netshare.GenOpts{NumStreams: n, Device: dev, Seed: seed})
+		d, err = m.Generate(netshare.GenOpts{NumStreams: n, Device: dev, Seed: seed, Parallelism: l.Parallelism})
 	case GenCPTGPT:
 		m, ferr := l.CPT(dev)
 		if ferr != nil {
 			return nil, ferr
 		}
-		d, err = m.Generate(cptgpt.GenOpts{NumStreams: n, Device: dev, Seed: seed})
+		d, err = m.Generate(cptgpt.GenOpts{NumStreams: n, Device: dev, Seed: seed, Parallelism: l.Parallelism, BatchSize: l.BatchSize})
 	default:
 		return nil, fmt.Errorf("experiments: unknown generator %q", id)
 	}

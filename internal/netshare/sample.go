@@ -3,11 +3,11 @@ package netshare
 import (
 	"fmt"
 	"math"
-	"runtime"
 	"sync"
 
 	"cptgpt/internal/events"
 	"cptgpt/internal/stats"
+	"cptgpt/internal/tensor"
 	"cptgpt/internal/trace"
 )
 
@@ -19,7 +19,13 @@ type GenOpts struct {
 	Device events.DeviceType
 	// Seed fixes sampling randomness.
 	Seed uint64
-	// Workers bounds sampling concurrency; 0 means GOMAXPROCS.
+	// Parallelism bounds sampling concurrency; 0 means the tensor-layer
+	// default (GOMAXPROCS, or tensor.SetParallelism's value). Every stream
+	// draws from its own index-seeded RNG, so output is identical at every
+	// setting.
+	Parallelism int
+	// Workers is a deprecated alias for Parallelism, honored when
+	// Parallelism is 0.
 	Workers int
 	// StartWindow, when positive, offsets each stream's start uniformly in
 	// [0, StartWindow) seconds (see cptgpt.GenOpts.StartWindow).
@@ -38,9 +44,12 @@ func (m *Model) Generate(opts GenOpts) (*trace.Dataset, error) {
 	if opts.NumStreams <= 0 {
 		return nil, fmt.Errorf("netshare: NumStreams must be positive, got %d", opts.NumStreams)
 	}
-	workers := opts.Workers
+	workers := opts.Parallelism
 	if workers <= 0 {
-		workers = runtime.GOMAXPROCS(0)
+		workers = opts.Workers
+	}
+	if workers <= 0 {
+		workers = tensor.Parallelism()
 	}
 	if workers > opts.NumStreams {
 		workers = opts.NumStreams

@@ -17,10 +17,12 @@ package smm
 import (
 	"fmt"
 	"math"
+	"sync"
 
 	"cptgpt/internal/events"
 	"cptgpt/internal/statemachine"
 	"cptgpt/internal/stats"
+	"cptgpt/internal/tensor"
 	"cptgpt/internal/trace"
 )
 
@@ -269,6 +271,11 @@ type GenOpts struct {
 	Device events.DeviceType
 	// Seed fixes sampling randomness.
 	Seed uint64
+	// Parallelism bounds cross-stream sampling concurrency; 0 means the
+	// tensor-layer default (GOMAXPROCS, or tensor.SetParallelism's value).
+	// Every stream draws from its own index-seeded RNG, so output is
+	// identical at every setting.
+	Parallelism int
 	// StartWindow, when positive, offsets each stream's start uniformly in
 	// [0, StartWindow) seconds (see cptgpt.GenOpts.StartWindow).
 	StartWindow float64
@@ -278,7 +285,8 @@ type GenOpts struct {
 // draws a bootstrap (event, state) pair, then alternates event and sojourn
 // sampling until the horizon is exceeded. Only machine-valid transitions
 // exist in the fitted tables, so the output has zero semantic violations by
-// construction.
+// construction. Streams fan out across Parallelism workers; output is
+// deterministic for a fixed Seed regardless of the worker count.
 func (m *Model) Generate(opts GenOpts) (*trace.Dataset, error) {
 	if opts.NumStreams <= 0 {
 		return nil, fmt.Errorf("smm: NumStreams must be positive, got %d", opts.NumStreams)
@@ -292,46 +300,72 @@ func (m *Model) Generate(opts GenOpts) (*trace.Dataset, error) {
 		return nil, fmt.Errorf("smm: cluster weights: %w", err)
 	}
 
-	d := &trace.Dataset{Generation: m.Gen}
-	for i := 0; i < opts.NumStreams; i++ {
-		rng := stats.NewRand(m.Cfg.Seed ^ opts.Seed ^ (uint64(i)+1)*0x9e3779b97f4a7c15)
-		c := &m.clusters[pick.Sample(rng)]
-		s := trace.Stream{
-			UEID:   fmt.Sprintf("smm-%s-%06d", opts.Device, i),
-			Device: opts.Device,
-		}
-		ic := c.initChoices[c.init.Sample(rng)]
-		t := 0.0
-		if opts.StartWindow > 0 {
-			t = rng.Float64() * opts.StartWindow
-		}
-		s.Events = append(s.Events, trace.Event{Time: t, Type: ic.event})
-		state := ic.state
-		for {
-			cat := c.trans[state]
-			if cat == nil {
-				break // absorbing in the fitted data
-			}
-			choices := c.transChoices[state]
-			e := choices[cat.Sample(rng)]
-			soj := c.sojourn[statemachine.StateEvent{State: state, Event: e}]
-			var dt float64
-			if soj != nil {
-				dt = math.Max(soj.Sample(rng), 0)
-			}
-			t += dt
-			if t >= m.Cfg.Horizon {
-				break
-			}
-			s.Events = append(s.Events, trace.Event{Time: t, Type: e})
-			next, ok := statemachine.New(m.Gen).Step(state, e)
-			if !ok {
-				// Unreachable: fitted tables contain only valid transitions.
-				break
-			}
-			state = next
-		}
-		d.Streams = append(d.Streams, s)
+	streams := make([]trace.Stream, opts.NumStreams)
+	machine := statemachine.New(m.Gen)
+	workers := opts.Parallelism
+	if workers <= 0 {
+		workers = tensor.Parallelism()
 	}
-	return d, nil
+	if workers > opts.NumStreams {
+		workers = opts.NumStreams
+	}
+	var wg sync.WaitGroup
+	jobs := make(chan int)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range jobs {
+				streams[i] = m.sampleStream(i, opts, pick, machine)
+			}
+		}()
+	}
+	for i := 0; i < opts.NumStreams; i++ {
+		jobs <- i
+	}
+	close(jobs)
+	wg.Wait()
+	return &trace.Dataset{Generation: m.Gen, Streams: streams}, nil
+}
+
+// sampleStream draws one semi-Markov stream with its own index-seeded RNG.
+func (m *Model) sampleStream(i int, opts GenOpts, pick *stats.Categorical, machine statemachine.Machine) trace.Stream {
+	rng := stats.NewRand(m.Cfg.Seed ^ opts.Seed ^ (uint64(i)+1)*0x9e3779b97f4a7c15)
+	c := &m.clusters[pick.Sample(rng)]
+	s := trace.Stream{
+		UEID:   fmt.Sprintf("smm-%s-%06d", opts.Device, i),
+		Device: opts.Device,
+	}
+	ic := c.initChoices[c.init.Sample(rng)]
+	t := 0.0
+	if opts.StartWindow > 0 {
+		t = rng.Float64() * opts.StartWindow
+	}
+	s.Events = append(s.Events, trace.Event{Time: t, Type: ic.event})
+	state := ic.state
+	for {
+		cat := c.trans[state]
+		if cat == nil {
+			break // absorbing in the fitted data
+		}
+		choices := c.transChoices[state]
+		e := choices[cat.Sample(rng)]
+		soj := c.sojourn[statemachine.StateEvent{State: state, Event: e}]
+		var dt float64
+		if soj != nil {
+			dt = math.Max(soj.Sample(rng), 0)
+		}
+		t += dt
+		if t >= m.Cfg.Horizon {
+			break
+		}
+		s.Events = append(s.Events, trace.Event{Time: t, Type: e})
+		next, ok := machine.Step(state, e)
+		if !ok {
+			// Unreachable: fitted tables contain only valid transitions.
+			break
+		}
+		state = next
+	}
+	return s
 }

@@ -169,3 +169,39 @@ func TestFit5G(t *testing.T) {
 		t.Fatalf("5G SMM produced %d violations", agg.ViolatingEvents)
 	}
 }
+
+// TestGenerateParallelismInvariant is the SMM determinism guarantee: the
+// same seed yields bit-identical streams at every parallelism degree.
+func TestGenerateParallelismInvariant(t *testing.T) {
+	d := groundTruth(t, 12, 120)
+	cfg := DefaultConfig()
+	cfg.K = 4
+	m, err := Fit(d, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	base := GenOpts{NumStreams: 80, Device: events.Phone, Seed: 21, StartWindow: 60, Parallelism: 1}
+	want, err := m.Generate(base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, p := range []int{2, 8} {
+		opts := base
+		opts.Parallelism = p
+		got, err := m.Generate(opts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := range want.Streams {
+			w, g := want.Streams[i], got.Streams[i]
+			if w.UEID != g.UEID || len(w.Events) != len(g.Events) {
+				t.Fatalf("parallelism %d: stream %d differs (%d vs %d events)", p, i, len(g.Events), len(w.Events))
+			}
+			for j := range w.Events {
+				if w.Events[j] != g.Events[j] {
+					t.Fatalf("parallelism %d: stream %d event %d = %+v, want %+v", p, i, j, g.Events[j], w.Events[j])
+				}
+			}
+		}
+	}
+}

@@ -13,24 +13,30 @@ func Softmax(a *Tensor) *Tensor {
 			return
 		}
 		g := a.ensureGrad()
-		for r := 0; r < a.Rows; r++ {
-			y := out.Data[r*a.Cols : (r+1)*a.Cols]
-			dy := out.Grad[r*a.Cols : (r+1)*a.Cols]
-			var dot float64
-			for j := range y {
-				dot += y[j] * dy[j]
+		ParallelFor(a.Rows, 4*a.Cols, func(lo, hi int) {
+			for r := lo; r < hi; r++ {
+				y := out.Data[r*a.Cols : (r+1)*a.Cols]
+				dy := out.Grad[r*a.Cols : (r+1)*a.Cols]
+				var dot float64
+				for j := range y {
+					dot += y[j] * dy[j]
+				}
+				gr := g[r*a.Cols : (r+1)*a.Cols]
+				for j := range y {
+					gr[j] += y[j] * (dy[j] - dot)
+				}
 			}
-			gr := g[r*a.Cols : (r+1)*a.Cols]
-			for j := range y {
-				gr[j] += y[j] * (dy[j] - dot)
-			}
-		}
+		})
 	}, a)
-	for r := 0; r < a.Rows; r++ {
-		x := a.Data[r*a.Cols : (r+1)*a.Cols]
-		y := out.Data[r*a.Cols : (r+1)*a.Cols]
-		softmaxRow(x, y)
-	}
+	// Rows are independent, so sharding preserves bit-identical output; exp
+	// dominates the per-element cost, hence the inflated work estimate.
+	ParallelFor(a.Rows, 8*a.Cols, func(lo, hi int) {
+		for r := lo; r < hi; r++ {
+			x := a.Data[r*a.Cols : (r+1)*a.Cols]
+			y := out.Data[r*a.Cols : (r+1)*a.Cols]
+			softmaxRow(x, y)
+		}
+	})
 	return out
 }
 
@@ -67,25 +73,29 @@ func CausalSoftmax(a *Tensor) *Tensor {
 			return
 		}
 		g := a.ensureGrad()
-		for r := 0; r < n; r++ {
-			y := out.Data[r*n : r*n+r+1]
-			dy := out.Grad[r*n : r*n+r+1]
-			var dot float64
-			for j := range y {
-				dot += y[j] * dy[j]
+		ParallelFor(n, 2*n, func(lo, hi int) {
+			for r := lo; r < hi; r++ {
+				y := out.Data[r*n : r*n+r+1]
+				dy := out.Grad[r*n : r*n+r+1]
+				var dot float64
+				for j := range y {
+					dot += y[j] * dy[j]
+				}
+				gr := g[r*n : r*n+r+1]
+				for j := range y {
+					gr[j] += y[j] * (dy[j] - dot)
+				}
 			}
-			gr := g[r*n : r*n+r+1]
-			for j := range y {
-				gr[j] += y[j] * (dy[j] - dot)
-			}
-		}
+		})
 	}, a)
-	for r := 0; r < n; r++ {
-		x := a.Data[r*n : r*n+r+1]
-		y := out.Data[r*n : r*n+r+1]
-		softmaxRow(x, y)
-		// entries j > r stay zero
-	}
+	ParallelFor(n, 4*n, func(lo, hi int) {
+		for r := lo; r < hi; r++ {
+			x := a.Data[r*n : r*n+r+1]
+			y := out.Data[r*n : r*n+r+1]
+			softmaxRow(x, y)
+			// entries j > r stay zero
+		}
+	})
 	return out
 }
 
@@ -102,62 +112,75 @@ func LayerNorm(a, gain, bias *Tensor, eps float64) *Tensor {
 	xhat := make([]float64, len(a.Data))
 
 	out := child(a.Rows, a.Cols, "layernorm", func(out *Tensor) {
-		for r := 0; r < a.Rows; r++ {
-			dy := out.Grad[r*a.Cols : (r+1)*a.Cols]
-			xh := xhat[r*a.Cols : (r+1)*a.Cols]
-			if gain.requiresGrad {
-				g := gain.ensureGrad()
-				for j := range dy {
-					g[j] += dy[j] * xh[j]
+		// Gain/bias gradients accumulate across rows, so they stay serial
+		// (in row order, keeping the float result identical); the input
+		// gradient is row-independent and shards across the pool.
+		if gain.requiresGrad || bias.requiresGrad {
+			gg := gain.ensureGrad()
+			gb := bias.ensureGrad()
+			for r := 0; r < a.Rows; r++ {
+				dy := out.Grad[r*a.Cols : (r+1)*a.Cols]
+				xh := xhat[r*a.Cols : (r+1)*a.Cols]
+				if gain.requiresGrad {
+					for j := range dy {
+						gg[j] += dy[j] * xh[j]
+					}
+				}
+				if bias.requiresGrad {
+					for j := range dy {
+						gb[j] += dy[j]
+					}
 				}
 			}
-			if bias.requiresGrad {
-				g := bias.ensureGrad()
-				for j := range dy {
-					g[j] += dy[j]
+		}
+		if a.requiresGrad {
+			ga := a.ensureGrad()
+			ParallelFor(a.Rows, 6*a.Cols, func(lo, hi int) {
+				for r := lo; r < hi; r++ {
+					dy := out.Grad[r*a.Cols : (r+1)*a.Cols]
+					xh := xhat[r*a.Cols : (r+1)*a.Cols]
+					// dxhat = dy * gain
+					var sumDx, sumDxXh float64
+					for j := range dy {
+						dx := dy[j] * gain.Data[j]
+						sumDx += dx
+						sumDxXh += dx * xh[j]
+					}
+					gr := ga[r*a.Cols : (r+1)*a.Cols]
+					for j := range dy {
+						dx := dy[j] * gain.Data[j]
+						gr[j] += istd[r] * (dx - sumDx/n - xh[j]*sumDxXh/n)
+					}
 				}
-			}
-			if a.requiresGrad {
-				// dxhat = dy * gain
-				var sumDx, sumDxXh float64
-				for j := range dy {
-					dx := dy[j] * gain.Data[j]
-					sumDx += dx
-					sumDxXh += dx * xh[j]
-				}
-				ga := a.ensureGrad()
-				gr := ga[r*a.Cols : (r+1)*a.Cols]
-				for j := range dy {
-					dx := dy[j] * gain.Data[j]
-					gr[j] += istd[r] * (dx - sumDx/n - xh[j]*sumDxXh/n)
-				}
-			}
+			})
 		}
 	}, a, gain, bias)
 
-	for r := 0; r < a.Rows; r++ {
-		x := a.Data[r*a.Cols : (r+1)*a.Cols]
-		var m float64
-		for _, v := range x {
-			m += v
+	ParallelFor(a.Rows, 5*a.Cols, func(lo, hi int) {
+		for r := lo; r < hi; r++ {
+			x := a.Data[r*a.Cols : (r+1)*a.Cols]
+			var m float64
+			for _, v := range x {
+				m += v
+			}
+			m /= n
+			var v float64
+			for _, xv := range x {
+				d := xv - m
+				v += d * d
+			}
+			v /= n
+			is := 1 / math.Sqrt(v+eps)
+			mu[r], istd[r] = m, is
+			y := out.Data[r*a.Cols : (r+1)*a.Cols]
+			xh := xhat[r*a.Cols : (r+1)*a.Cols]
+			for j, xv := range x {
+				h := (xv - m) * is
+				xh[j] = h
+				y[j] = h*gain.Data[j] + bias.Data[j]
+			}
 		}
-		m /= n
-		var v float64
-		for _, xv := range x {
-			d := xv - m
-			v += d * d
-		}
-		v /= n
-		is := 1 / math.Sqrt(v+eps)
-		mu[r], istd[r] = m, is
-		y := out.Data[r*a.Cols : (r+1)*a.Cols]
-		xh := xhat[r*a.Cols : (r+1)*a.Cols]
-		for j, xv := range x {
-			h := (xv - m) * is
-			xh[j] = h
-			y[j] = h*gain.Data[j] + bias.Data[j]
-		}
-	}
+	})
 	return out
 }
 
@@ -297,37 +320,53 @@ func CrossEntropy(logits *Tensor, targets []int) *Tensor {
 	if active == 0 {
 		active = 1
 	}
+	for _, t := range targets {
+		if t >= c {
+			panic(fmt.Sprintf("tensor: CrossEntropy target %d out of range %d", t, c))
+		}
+	}
 	out := child(1, 1, "cross_entropy", func(out *Tensor) {
 		if !logits.requiresGrad {
 			return
 		}
 		g := logits.ensureGrad()
 		scale := out.Grad[0] / float64(active)
-		for r, t := range targets {
-			if t < 0 {
-				continue
+		ParallelFor(logits.Rows, 2*c, func(lo, hi int) {
+			for r := lo; r < hi; r++ {
+				t := targets[r]
+				if t < 0 {
+					continue
+				}
+				p := probs[r*c : (r+1)*c]
+				gr := g[r*c : (r+1)*c]
+				for j := range p {
+					gr[j] += scale * p[j]
+				}
+				gr[t] -= scale
 			}
-			p := probs[r*c : (r+1)*c]
-			gr := g[r*c : (r+1)*c]
-			for j := range p {
-				gr[j] += scale * p[j]
-			}
-			gr[t] -= scale
-		}
+		})
 	}, logits)
+	// Per-row softmax and loss terms shard across the pool; the reduction
+	// over rows stays a serial in-order sum so the result is bit-identical
+	// to the fully serial path at any parallelism degree.
+	rowLoss, handle := getBuf(logits.Rows)
+	ParallelFor(logits.Rows, 8*c, func(lo, hi int) {
+		for r := lo; r < hi; r++ {
+			x := logits.Data[r*c : (r+1)*c]
+			p := probs[r*c : (r+1)*c]
+			softmaxRow(x, p)
+			if t := targets[r]; t >= 0 {
+				rowLoss[r] = -math.Log(math.Max(p[t], 1e-300))
+			}
+		}
+	})
 	var loss float64
 	for r, t := range targets {
-		x := logits.Data[r*c : (r+1)*c]
-		p := probs[r*c : (r+1)*c]
-		softmaxRow(x, p)
-		if t < 0 {
-			continue
+		if t >= 0 {
+			loss += rowLoss[r]
 		}
-		if t >= c {
-			panic(fmt.Sprintf("tensor: CrossEntropy target %d out of range %d", t, c))
-		}
-		loss -= math.Log(math.Max(p[t], 1e-300))
 	}
+	putBuf(handle)
 	out.Data[0] = loss / float64(active)
 	return out
 }

@@ -1,0 +1,150 @@
+package tensor
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// The generation engine shards its hot kernels (MatMul, Softmax, LayerNorm,
+// CrossEntropy, batched decoding) across a persistent goroutine worker pool.
+// Sharding is always row-wise over independent rows, so results are
+// bit-identical to the serial path regardless of the configured degree or
+// the number of pool workers — determinism tests in parallel_test.go pin
+// this property down.
+
+// parallelism holds the configured degree; 0 means "use GOMAXPROCS".
+var parallelism atomic.Int32
+
+// SetParallelism sets the process-global parallelism degree used by the
+// tensor kernels and by ParallelFor. n ≤ 0 restores the default
+// (GOMAXPROCS). It returns the previous setting (0 = default) so callers
+// can scope an override:
+//
+//	prev := tensor.SetParallelism(8)
+//	defer tensor.SetParallelism(prev)
+func SetParallelism(n int) (prev int) {
+	if n < 0 {
+		n = 0
+	}
+	return int(parallelism.Swap(int32(n)))
+}
+
+// Parallelism returns the effective parallelism degree: the value set by
+// SetParallelism, or GOMAXPROCS when unset.
+func Parallelism() int {
+	if n := parallelism.Load(); n > 0 {
+		return int(n)
+	}
+	return runtime.GOMAXPROCS(0)
+}
+
+// shard is one unit of pool work: run fn over [lo, hi) and signal wg.
+type shard struct {
+	fn     func(lo, hi int)
+	lo, hi int
+	wg     *sync.WaitGroup
+}
+
+// shardCh feeds the persistent workers. The buffer lets a submitter enqueue
+// a full fan-out without blocking even when every worker is busy.
+var shardCh = make(chan shard, 256)
+
+// spawned tracks how many pool workers exist; workers are started lazily and
+// live for the whole process (the pool is tiny: at most the highest degree
+// ever requested).
+var spawned atomic.Int32
+
+func ensureWorkers(n int) {
+	for {
+		cur := spawned.Load()
+		if int(cur) >= n {
+			return
+		}
+		if spawned.CompareAndSwap(cur, cur+1) {
+			go func() {
+				for s := range shardCh {
+					s.fn(s.lo, s.hi)
+					s.wg.Done()
+				}
+			}()
+		}
+	}
+}
+
+// wgPool recycles the WaitGroups that coordinate each fan-out, keeping the
+// steady-state cost of a parallel call allocation-free.
+var wgPool = sync.Pool{New: func() any { return new(sync.WaitGroup) }}
+
+// parallelThreshold is the work size (in scalar multiply-adds or
+// comparable units) above which a kernel shards across the pool; below it
+// the goroutine hand-off costs more than it saves.
+const parallelThreshold = 1 << 15
+
+// ParallelFor runs fn over the index range [0, n), sharded across the
+// worker pool when n·workPerItem exceeds the parallel threshold and the
+// effective parallelism is > 1; otherwise it runs inline. fn must treat
+// each index independently: ParallelFor guarantees every index is covered
+// exactly once but says nothing about order or goroutine assignment.
+// Results must therefore be bit-identical for every degree, which is what
+// keeps batched generation deterministic.
+func ParallelFor(n, workPerItem int, fn func(lo, hi int)) {
+	p := Parallelism()
+	if p <= 1 || n < 2 || n*workPerItem < parallelThreshold {
+		fn(0, n)
+		return
+	}
+	if p > n {
+		p = n
+	}
+	ensureWorkers(p - 1)
+	wg := wgPool.Get().(*sync.WaitGroup)
+	chunk := (n + p - 1) / p
+	// Shards 1..p-1 go to the pool; the submitting goroutine runs shard 0
+	// itself so the pool never needs more than degree−1 workers.
+	for w := 1; w < p; w++ {
+		lo := w * chunk
+		hi := lo + chunk
+		if hi > n {
+			hi = n
+		}
+		if lo >= hi {
+			break
+		}
+		wg.Add(1)
+		shardCh <- shard{fn: fn, lo: lo, hi: hi, wg: wg}
+	}
+	hi := chunk
+	if hi > n {
+		hi = n
+	}
+	fn(0, hi)
+	wg.Wait()
+	wgPool.Put(wg)
+}
+
+// bufPool recycles float64 scratch slices used inside kernels (per-row loss
+// accumulators and the like). Slices are held by pointer so Put does not
+// allocate an interface box.
+var bufPool = sync.Pool{New: func() any { b := make([]float64, 0, 1024); return &b }}
+
+// getBuf returns a zeroed scratch slice of length n from the pool, paired
+// with the pool handle to pass back to putBuf.
+func getBuf(n int) (buf []float64, handle *[]float64) {
+	handle = bufPool.Get().(*[]float64)
+	b := *handle
+	if cap(b) < n {
+		b = make([]float64, n)
+		*handle = b
+	}
+	b = b[:n]
+	for i := range b {
+		b[i] = 0
+	}
+	return b, handle
+}
+
+// putBuf returns a scratch slice to the pool.
+func putBuf(handle *[]float64) {
+	bufPool.Put(handle)
+}

@@ -1,0 +1,137 @@
+package tensor
+
+import (
+	"sync/atomic"
+	"testing"
+
+	"math/rand/v2"
+)
+
+func testRng() *rand.Rand {
+	return rand.New(rand.NewPCG(11, 17))
+}
+
+// withParallelism runs fn at a fixed parallelism degree, restoring the
+// previous setting afterwards.
+func withParallelism(p int, fn func()) {
+	prev := SetParallelism(p)
+	defer SetParallelism(prev)
+	fn()
+}
+
+// TestParallelForCoversAllIndices checks every index is visited exactly once
+// at several degrees, including degrees above the index count.
+func TestParallelForCoversAllIndices(t *testing.T) {
+	for _, p := range []int{1, 2, 3, 8, 64} {
+		for _, n := range []int{1, 2, 7, 100} {
+			var visits [100]int32
+			withParallelism(p, func() {
+				// Large workPerItem forces the sharded path.
+				ParallelFor(n, parallelThreshold, func(lo, hi int) {
+					for i := lo; i < hi; i++ {
+						atomic.AddInt32(&visits[i], 1)
+					}
+				})
+			})
+			for i := 0; i < n; i++ {
+				if visits[i] != 1 {
+					t.Fatalf("p=%d n=%d: index %d visited %d times", p, n, i, visits[i])
+				}
+			}
+		}
+	}
+}
+
+// runKernels exercises every sharded kernel forward and backward and
+// returns all produced values and gradients.
+func runKernels(rng *rand.Rand) [][]float64 {
+	var out [][]float64
+	collect := func(ts ...*Tensor) {
+		for _, x := range ts {
+			out = append(out, append([]float64(nil), x.Data...))
+			if x.Grad != nil {
+				out = append(out, append([]float64(nil), x.Grad...))
+			}
+		}
+	}
+
+	// MatMul forward + both gradient paths.
+	a := Randn(64, 48, 1, rng).Param()
+	b := Randn(48, 56, 1, rng).Param()
+	mm := MatMul(a, b)
+	Mean(mm).Backward()
+	collect(a, b, mm)
+
+	// Softmax + CausalSoftmax.
+	s := Randn(96, 40, 1, rng).Param()
+	sm := Softmax(s)
+	Mean(Mul(sm, sm)).Backward()
+	collect(s, sm)
+
+	cs := Randn(64, 64, 1, rng).Param()
+	csm := CausalSoftmax(cs)
+	Mean(Mul(csm, csm)).Backward()
+	collect(cs, csm)
+
+	// LayerNorm with learned gain/bias.
+	x := Randn(80, 48, 1, rng).Param()
+	gain := Randn(1, 48, 1, rng).Param()
+	bias := Randn(1, 48, 1, rng).Param()
+	ln := LayerNorm(x, gain, bias, 1e-5)
+	Mean(Mul(ln, ln)).Backward()
+	collect(x, gain, bias, ln)
+
+	// CrossEntropy with masked rows.
+	logits := Randn(120, 24, 1, rng).Param()
+	targets := make([]int, 120)
+	for i := range targets {
+		targets[i] = i % 24
+		if i%11 == 0 {
+			targets[i] = -1
+		}
+	}
+	ce := CrossEntropy(logits, targets)
+	ce.Backward()
+	collect(logits, ce)
+
+	return out
+}
+
+// TestKernelsBitIdenticalAcrossParallelism is the tensor-layer determinism
+// guarantee: every sharded kernel produces bit-identical values and
+// gradients at parallelism 1, 2 and 8 (same seed, same inputs).
+func TestKernelsBitIdenticalAcrossParallelism(t *testing.T) {
+	var ref [][]float64
+	withParallelism(1, func() { ref = runKernels(testRng()) })
+	for _, p := range []int{2, 8} {
+		var got [][]float64
+		withParallelism(p, func() { got = runKernels(testRng()) })
+		if len(got) != len(ref) {
+			t.Fatalf("parallelism %d: %d tensors, want %d", p, len(got), len(ref))
+		}
+		for ti := range ref {
+			for i := range ref[ti] {
+				if got[ti][i] != ref[ti][i] {
+					t.Fatalf("parallelism %d: tensor %d element %d = %v, want %v (must be bit-identical)",
+						p, ti, i, got[ti][i], ref[ti][i])
+				}
+			}
+		}
+	}
+}
+
+// TestSetParallelismRoundTrip checks the setter returns the previous value
+// and that 0 restores the GOMAXPROCS default.
+func TestSetParallelismRoundTrip(t *testing.T) {
+	prev := SetParallelism(3)
+	defer SetParallelism(prev)
+	if got := Parallelism(); got != 3 {
+		t.Fatalf("Parallelism() = %d, want 3", got)
+	}
+	if back := SetParallelism(0); back != 3 {
+		t.Fatalf("SetParallelism returned %d, want 3", back)
+	}
+	if Parallelism() < 1 {
+		t.Fatalf("default parallelism %d < 1", Parallelism())
+	}
+}

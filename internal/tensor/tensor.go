@@ -16,8 +16,6 @@ import (
 	"fmt"
 	"math"
 	"math/rand/v2"
-	"runtime"
-	"sync"
 )
 
 // Tensor is a dense row-major matrix (rank ≤ 2; vectors are 1×n or n×1
@@ -168,39 +166,10 @@ func topoSort(root *Tensor) []*Tensor {
 	return order
 }
 
-// parallelThreshold is the work size (in multiply-adds) above which matmul
-// shards across goroutines.
-const parallelThreshold = 1 << 15
-
-// parallelRows runs fn over [0, rows) sharded across GOMAXPROCS goroutines
-// when work is large enough, otherwise inline.
+// parallelRows runs fn over [0, rows) sharded across the package worker
+// pool when work is large enough, otherwise inline (see parallel.go).
 func parallelRows(rows, workPerRow int, fn func(lo, hi int)) {
-	workers := runtime.GOMAXPROCS(0)
-	if workers <= 1 || rows*workPerRow < parallelThreshold || rows < 2 {
-		fn(0, rows)
-		return
-	}
-	if workers > rows {
-		workers = rows
-	}
-	var wg sync.WaitGroup
-	chunk := (rows + workers - 1) / workers
-	for w := 0; w < workers; w++ {
-		lo := w * chunk
-		hi := lo + chunk
-		if hi > rows {
-			hi = rows
-		}
-		if lo >= hi {
-			break
-		}
-		wg.Add(1)
-		go func(lo, hi int) {
-			defer wg.Done()
-			fn(lo, hi)
-		}(lo, hi)
-	}
-	wg.Wait()
+	ParallelFor(rows, workPerRow, fn)
 }
 
 // matmulInto computes dst = a(rA×cA) · b(cA×cB) with dst pre-sized.
