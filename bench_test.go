@@ -117,6 +117,86 @@ func BenchmarkTensorMatMul128Serial(b *testing.B) {
 	}
 }
 
+// BenchmarkTensorMatMulBlocked256 times the cache-blocked, transpose-packed
+// MatMul kernel at 256³, pinned to one worker so the kernel effect is
+// isolated from pool sharding. Compare against ...Naive; both produce
+// bit-identical results (internal/tensor TestMatMulBlockedMatchesNaive).
+func BenchmarkTensorMatMulBlocked256(b *testing.B) {
+	benchMatMul256(b, true)
+}
+
+// BenchmarkTensorMatMulBlocked256Naive pins the pre-blocking triple-loop
+// kernel over the same operands — the baseline for the blocked speedup.
+func BenchmarkTensorMatMulBlocked256Naive(b *testing.B) {
+	benchMatMul256(b, false)
+}
+
+func benchMatMul256(b *testing.B, blocked bool) {
+	b.Helper()
+	prevB := tensor.SetBlockedMatMul(blocked)
+	defer tensor.SetBlockedMatMul(prevB)
+	prevP := tensor.SetParallelism(1)
+	defer tensor.SetParallelism(prevP)
+	rng := stats.NewRand(1)
+	x := tensor.Randn(256, 256, 1, rng)
+	y := tensor.Randn(256, 256, 1, rng)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		tensor.MatMul(x, y)
+	}
+}
+
+// benchTrainEpoch times one full CPT-GPT training epoch over a fixed stream
+// population and reports amortized ns/token (the §5.5 time-to-fidelity
+// currency: tokens processed per unit wall-clock).
+func benchTrainEpoch(b *testing.B, opts CPTGPTTrainOpts) {
+	b.Helper()
+	d, err := synthetic.Generate(synthetic.Config{
+		Generation: events.Gen4G, Seed: 4,
+		UEs: map[events.DeviceType]int{events.Phone: 80}, Hours: 1, StartHour: 10,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	cfg := DefaultCPTGPTConfig()
+	cfg.Generation = d.Generation
+	cfg.Epochs = 1
+	tokens := 0
+	for i := range d.Streams {
+		if l := len(d.Streams[i].Events); l >= 2 && l <= cfg.MaxLen+1 {
+			tokens += l - 1
+		}
+	}
+	if tokens == 0 {
+		b.Skip("no eligible streams")
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := TrainCPTGPT(d, cfg, opts); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(float64(b.Elapsed().Nanoseconds())/float64(b.N*tokens), "ns/token")
+}
+
+// BenchmarkCPTGPTTrainEpoch measures the packed-minibatch trainer at default
+// settings (MicrobatchStreams = 4, Parallelism = GOMAXPROCS, arena on,
+// blocked MatMul). Compare against ...Serial for the overall training
+// speedup; the equivalence tests in internal/cptgpt prove both paths train
+// bit-identical weights.
+func BenchmarkCPTGPTTrainEpoch(b *testing.B) {
+	benchTrainEpoch(b, CPTGPTTrainOpts{})
+}
+
+// BenchmarkCPTGPTTrainEpochSerial is the pre-PR training path: one stream
+// per forward pass, one tensor worker, heap-allocated tape (arena off) and
+// the naive MatMul kernels.
+func BenchmarkCPTGPTTrainEpochSerial(b *testing.B) {
+	prev := tensor.SetBlockedMatMul(false)
+	defer tensor.SetBlockedMatMul(prev)
+	benchTrainEpoch(b, CPTGPTTrainOpts{MicrobatchStreams: 1, Parallelism: 1, NoArena: true})
+}
+
 func BenchmarkTensorTrainStep(b *testing.B) {
 	// One forward+backward of a 2-block transformer over a 64-token stream.
 	d, err := synthetic.Generate(synthetic.Config{

@@ -38,10 +38,14 @@ import (
 // Parallel execution. Every generator fans stream synthesis out across a
 // worker pool, and the tensor kernels shard across the same pool; output is
 // bit-identical at every parallelism degree because each stream draws only
-// from its own index-seeded RNG. Per-call knobs live on the option structs
-// (CPTGPTGenOpts/NetShareGenOpts/SMMGenOpts .Parallelism and .BatchSize,
-// CPTGPTTrainOpts.Parallelism); SetParallelism sets the process-global
-// default used when those are zero.
+// from its own index-seeded RNG. Training is batched too: CPT-GPT packs
+// CPTGPTTrainOpts.MicrobatchStreams streams into each forward pass (block-
+// diagonal causal attention over one concatenated matrix) and runs the tape
+// out of a per-step bump arena — trained weights are bit-identical at every
+// microbatch and parallelism setting. Per-call knobs live on the option
+// structs (CPTGPTGenOpts/NetShareGenOpts/SMMGenOpts .Parallelism and
+// .BatchSize, CPTGPTTrainOpts.Parallelism and .MicrobatchStreams);
+// SetParallelism sets the process-global default used when those are zero.
 
 // SetParallelism sets the process-global parallelism degree for tensor
 // kernels and stream generation (0 restores the GOMAXPROCS default). It

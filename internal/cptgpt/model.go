@@ -37,6 +37,13 @@ type Config struct {
 	// AccumStreams is the number of streams whose gradients accumulate into
 	// one optimizer step.
 	AccumStreams int
+	// MicrobatchStreams is the number of streams packed into one forward
+	// pass (a padded-free concatenated minibatch with a block-diagonal
+	// causal mask). 0 or 1 trains one stream at a time. The trained weights
+	// are bit-identical at every setting when Dropout is 0 (the packed
+	// path preserves every reduction order); with dropout they are
+	// statistically equivalent (the mask draw order differs).
+	MicrobatchStreams int
 	// LossWeights weights the [event, interarrival, stop] losses in the
 	// total (the paper trains 1:1:1 and studies 3:1:1 / 1:3:1 / 1:1:3).
 	LossWeights [3]float64
@@ -63,9 +70,11 @@ func DefaultConfig() Config {
 		LR:           3e-3,
 		Epochs:       4,
 		AccumStreams: 4,
-		LossWeights:  [3]float64{1, 1, 1},
-		DistHead:     true,
-		Seed:         7,
+		// One packed forward per optimizer step at the default AccumStreams.
+		MicrobatchStreams: 4,
+		LossWeights:       [3]float64{1, 1, 1},
+		DistHead:          true,
+		Seed:              7,
 	}
 }
 
@@ -82,6 +91,8 @@ func (c Config) Validate() error {
 		return fmt.Errorf("cptgpt: LR must be positive, got %v", c.LR)
 	case c.Epochs <= 0:
 		return fmt.Errorf("cptgpt: Epochs must be positive, got %d", c.Epochs)
+	case c.MicrobatchStreams < 0:
+		return fmt.Errorf("cptgpt: MicrobatchStreams must be non-negative, got %d", c.MicrobatchStreams)
 	}
 	for i, w := range c.LossWeights {
 		if w < 0 {
@@ -187,7 +198,12 @@ func (m *Model) Forward(tokens *tensor.Tensor, dropRng *rand.Rand) (*Heads, erro
 		}
 	}
 	x = m.Final.Forward(x)
+	return m.headsOf(x), nil
+}
 
+// headsOf applies the final-norm output to the three MLP heads — the shared
+// tail of Forward and ForwardPacked (all heads are row-wise).
+func (m *Model) headsOf(x *tensor.Tensor) *Heads {
 	h := &Heads{
 		EventLogits: m.EventHd.Forward(x),
 		StopLogits:  m.StopHd.Forward(x),
@@ -200,7 +216,7 @@ func (m *Model) Forward(tokens *tensor.Tensor, dropRng *rand.Rand) (*Heads, erro
 	} else {
 		h.IAMean = ia
 	}
-	return h, nil
+	return h
 }
 
 // Loss computes the weighted multi-field training loss for one encoded

@@ -44,6 +44,15 @@ type TrainOpts struct {
 	// sharded kernels are bit-identical to the serial path, so the trained
 	// weights do not depend on this setting.
 	Parallelism int
+	// MicrobatchStreams overrides Config.MicrobatchStreams when > 0: the
+	// number of streams packed into each forward pass. With Dropout 0 the
+	// trained weights are bit-identical at every setting (see
+	// Config.MicrobatchStreams); set 1 to force the serial per-stream path.
+	MicrobatchStreams int
+	// NoArena disables the per-step tensor arena, restoring heap allocation
+	// for the tape. Training results are identical either way; the knob
+	// exists for benchmarking the arena's effect and as a kill switch.
+	NoArena bool
 }
 
 // TrainResult reports what a training run did.
@@ -97,6 +106,13 @@ func Train(m *Model, d *trace.Dataset, opts TrainOpts) (*TrainResult, error) {
 		prev := tensor.SetParallelism(opts.Parallelism)
 		defer tensor.SetParallelism(prev)
 	}
+	micro := opts.MicrobatchStreams
+	if micro <= 0 {
+		micro = m.Cfg.MicrobatchStreams
+	}
+	if micro < 1 {
+		micro = 1
+	}
 
 	// Encode eligible streams once.
 	type sample struct {
@@ -148,6 +164,31 @@ func Train(m *Model, d *trace.Dataset, opts TrainOpts) (*TrainResult, error) {
 	var bestSnap [][]float64
 	bestScore := math.Inf(1)
 
+	// The autograd tape has the same shape every step, so its buffers come
+	// from a bump arena that is rewound after each chunk's gradients have
+	// been folded into the (heap-allocated) parameter grads. Callbacks run
+	// with the arena detached (tensor.ArenaDetached): anything they
+	// allocate must outlive Reset. The install is ownership-gated so two
+	// arena-using trainers cannot interleave installs and Resets (the
+	// loser runs off the heap); other concurrent tape work while an arena
+	// is held remains unsupported — see tensor.InstallArena.
+	var arena *tensor.Arena
+	if !opts.NoArena {
+		arena = tensor.NewArena()
+		if tensor.InstallArena(arena) {
+			defer tensor.UninstallArena(arena)
+		} else {
+			arena = nil
+		}
+	}
+
+	var dropRng = rng
+	if m.Cfg.Dropout <= 0 {
+		dropRng = nil
+	}
+	ins := make([]*tensor.Tensor, 0, micro)
+	tgs := make([]*Targets, 0, micro)
+
 	best := 0.0
 	stale := 0
 	for epoch := 0; epoch < epochs; epoch++ {
@@ -161,36 +202,70 @@ func Train(m *Model, d *trace.Dataset, opts TrainOpts) (*TrainResult, error) {
 		var lossSum float64
 		var sinceStep int
 		opt.ZeroGrads()
-		for k, idx := range order {
-			sm := samples[idx]
-			var dropRng = rng
-			if m.Cfg.Dropout <= 0 {
-				dropRng = nil
+		for k := 0; k < len(order); {
+			// Pack up to `micro` streams, never crossing an optimizer-step
+			// boundary, so step boundaries land on the same streams at every
+			// microbatch setting (an equivalence requirement).
+			chunk := micro
+			if rem := accum - sinceStep; chunk > rem {
+				chunk = rem
 			}
-			h, err := m.Forward(sm.in, dropRng)
-			if err != nil {
-				return nil, err
+			if rem := len(order) - k; chunk > rem {
+				chunk = rem
 			}
-			loss := m.Loss(h, sm.tg)
-			lossSum += loss.Data[0]
-			weighted := tensor.Scale(loss, float64(sm.in.Rows)/meanTokens)
-			weighted.Backward()
-			sinceStep++
-			if sinceStep == accum || k == len(order)-1 {
+			if chunk == 1 {
+				// Serial per-stream path (also the MicrobatchStreams=1 mode).
+				sm := samples[order[k]]
+				h, err := m.Forward(sm.in, dropRng)
+				if err != nil {
+					return nil, err
+				}
+				loss := m.Loss(h, sm.tg)
+				lossSum += loss.Data[0]
+				weighted := tensor.Scale(loss, float64(sm.in.Rows)/meanTokens)
+				weighted.Backward()
+			} else {
+				ins, tgs = ins[:0], tgs[:0]
+				for _, idx := range order[k : k+chunk] {
+					ins = append(ins, samples[idx].in)
+					tgs = append(tgs, samples[idx].tg)
+				}
+				pb := PackStreams(ins, tgs)
+				h, err := m.ForwardPacked(pb, dropRng)
+				if err != nil {
+					return nil, err
+				}
+				total, perStream := m.LossPacked(h, pb, meanTokens)
+				for _, lv := range perStream {
+					lossSum += lv
+				}
+				total.Backward()
+			}
+			k += chunk
+			sinceStep += chunk
+			if sinceStep >= accum || k == len(order) {
 				opt.Step()
 				opt.ZeroGrads()
 				res.Steps++
 				sinceStep = 0
+			}
+			// The chunk's tape is dead (its gradients live in the heap
+			// parameter grads), so the arena can be rewound even within an
+			// accumulation window.
+			if arena != nil {
+				arena.Reset()
 			}
 		}
 		meanLoss := lossSum / float64(len(order))
 		res.EpochLoss = append(res.EpochLoss, meanLoss)
 		res.Epochs = epoch + 1
 		if opts.OnEpoch != nil {
-			opts.OnEpoch(epoch, meanLoss)
+			tensor.ArenaDetached(func() { opts.OnEpoch(epoch, meanLoss) })
 		}
 		if opts.Probe != nil && (epoch+1)%probeEvery == 0 {
-			if score := opts.Probe(); score < bestScore {
+			var score float64
+			tensor.ArenaDetached(func() { score = opts.Probe() })
+			if score < bestScore {
 				bestScore = score
 				res.BestEpoch = epoch + 1
 				bestSnap = snapshotParams(m.Params())

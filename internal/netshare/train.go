@@ -29,6 +29,14 @@ type TrainOpts struct {
 	Probe func() float64
 	// ProbeEvery defaults to 1 (every epoch).
 	ProbeEvery int
+	// Parallelism, when > 0, overrides the process-global tensor-kernel
+	// parallelism for the duration of the run (results are bit-identical at
+	// any setting). The GAN already trains a Config.BatchSize-packed
+	// minibatch per step, so it needs no separate microbatch knob.
+	Parallelism int
+	// NoArena disables the per-step tensor arena (heap tape allocation);
+	// results are identical either way. Benchmarking/kill-switch knob.
+	NoArena bool
 }
 
 // TrainResult reports a GAN training run.
@@ -119,6 +127,10 @@ func Train(m *Model, d *trace.Dataset, opts TrainOpts) (*TrainResult, error) {
 	if opts.LR > 0 {
 		lr = opts.LR
 	}
+	if opts.Parallelism > 0 {
+		prev := tensor.SetParallelism(opts.Parallelism)
+		defer tensor.SetParallelism(prev)
+	}
 
 	var real [][]float64
 	for i := range d.Streams {
@@ -176,6 +188,25 @@ func Train(m *Model, d *trace.Dataset, opts TrainOpts) (*TrainResult, error) {
 	var bestSnap [][]float64
 	bestScore := math.Inf(1)
 
+	// Both GAN steps rebuild the same tape shape every iteration, so tape
+	// buffers come from a bump arena rewound once per iteration (the real
+	// encodings above are heap-allocated and unaffected). The probe
+	// generates with the arena detached (tensor.ArenaDetached): its
+	// sampling runs tape ops on worker goroutines, and those tensors must
+	// not be tied to this trainer's Reset cycle. The install is
+	// ownership-gated; if another trainer holds the ambient slot this run
+	// trains off the heap. Other concurrent tape work while an arena is
+	// held remains unsupported — see tensor.InstallArena.
+	var arena *tensor.Arena
+	if !opts.NoArena {
+		arena = tensor.NewArena()
+		if tensor.InstallArena(arena) {
+			defer tensor.UninstallArena(arena)
+		} else {
+			arena = nil
+		}
+	}
+
 	order := make([]int, len(real))
 	for i := range order {
 		order[i] = i
@@ -227,15 +258,20 @@ func Train(m *Model, d *trace.Dataset, opts TrainOpts) (*TrainResult, error) {
 			dSum += lossD.Data[0]
 			gSum += lossG.Data[0]
 			res.Steps++
+			if arena != nil {
+				arena.Reset()
+			}
 		}
 		res.Epochs = epoch + 1
 		res.DLoss = append(res.DLoss, dSum/float64(itersPerEpoch))
 		res.GLoss = append(res.GLoss, gSum/float64(itersPerEpoch))
 		if opts.OnEpoch != nil {
-			opts.OnEpoch(epoch, res.DLoss[epoch], res.GLoss[epoch])
+			tensor.ArenaDetached(func() { opts.OnEpoch(epoch, res.DLoss[epoch], res.GLoss[epoch]) })
 		}
 		if opts.Probe != nil && (epoch+1)%probeEvery == 0 {
-			if score := opts.Probe(); score < bestScore {
+			var score float64
+			tensor.ArenaDetached(func() { score = opts.Probe() })
+			if score < bestScore {
 				bestScore = score
 				res.BestEpoch = epoch + 1
 				bestSnap = snapshotParams(m.GenParams())

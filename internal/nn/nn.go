@@ -113,6 +113,54 @@ func (a *CausalSelfAttention) Forward(x *tensor.Tensor) *tensor.Tensor {
 	return a.Wo.Forward(tensor.ConcatCols(heads...))
 }
 
+// ForwardPacked computes attention over a packed minibatch: x is the
+// row-wise concatenation of B independent sequences ("segments") and bounds
+// holds the B+1 segment offsets (bounds[s] .. bounds[s+1] is segment s).
+// The effective mask is block-diagonal causal — position i attends only to
+// j ≤ i within its own segment — realized segment-wise so the cross-segment
+// score blocks (all zero under the mask) are never materialized; the cost
+// stays Σ Tₛ² instead of (Σ Tₛ)².
+//
+// The Q/K/V/O projections run once over the whole packed batch, which is
+// where the minibatch speedup comes from; per-segment results are
+// bit-identical to running Forward on each segment alone.
+func (a *CausalSelfAttention) ForwardPacked(x *tensor.Tensor, bounds []int) *tensor.Tensor {
+	if len(bounds) < 2 || bounds[0] != 0 || bounds[len(bounds)-1] != x.Rows {
+		panic(fmt.Sprintf("nn: ForwardPacked bounds %v do not cover %d rows", bounds, x.Rows))
+	}
+	q := a.Wq.Forward(x)
+	k := a.Wk.Forward(x)
+	v := a.Wv.Forward(x)
+	dh := a.Dim / a.Heads
+	scale := 1 / math.Sqrt(float64(dh))
+	segs := len(bounds) - 1
+	heads := make([]*tensor.Tensor, a.Heads)
+	parts := make([]*tensor.Tensor, segs)
+	for h := 0; h < a.Heads; h++ {
+		lo, hi := h*dh, (h+1)*dh
+		qh := tensor.SliceCols(q, lo, hi)
+		kh := tensor.SliceCols(k, lo, hi)
+		vh := tensor.SliceCols(v, lo, hi)
+		for s := 0; s < segs; s++ {
+			sl, sh := bounds[s], bounds[s+1]
+			if sl >= sh {
+				panic(fmt.Sprintf("nn: ForwardPacked empty segment %d", s))
+			}
+			qs := tensor.SliceRows(qh, sl, sh)
+			ks := tensor.SliceRows(kh, sl, sh)
+			vs := tensor.SliceRows(vh, sl, sh)
+			scores := tensor.Scale(tensor.MatMul(qs, tensor.Transpose(ks)), scale)
+			parts[s] = tensor.MatMul(tensor.CausalSoftmax(scores), vs)
+		}
+		if segs == 1 {
+			heads[h] = parts[0]
+		} else {
+			heads[h] = tensor.ConcatRows(parts...)
+		}
+	}
+	return a.Wo.Forward(tensor.ConcatCols(heads...))
+}
+
 // Params returns the projection parameters.
 func (a *CausalSelfAttention) Params() []*tensor.Tensor {
 	var ps []*tensor.Tensor
@@ -167,6 +215,14 @@ func NewBlock(dim, heads, hidden int, rng *rand.Rand) *Block {
 // Forward applies the block to x (T×dim).
 func (b *Block) Forward(x *tensor.Tensor) *tensor.Tensor {
 	x = tensor.Add(x, b.Attn.Forward(b.LN1.Forward(x)))
+	return tensor.Add(x, b.FF.Forward(b.LN2.Forward(x)))
+}
+
+// ForwardPacked applies the block to a packed minibatch of segments (see
+// CausalSelfAttention.ForwardPacked). LayerNorm and the MLP are row-wise, so
+// only attention needs the segment bounds.
+func (b *Block) ForwardPacked(x *tensor.Tensor, bounds []int) *tensor.Tensor {
+	x = tensor.Add(x, b.Attn.ForwardPacked(b.LN1.Forward(x), bounds))
 	return tensor.Add(x, b.FF.Forward(b.LN2.Forward(x)))
 }
 

@@ -65,12 +65,18 @@ func (a *Adam) Step() {
 			continue
 		}
 		m, v := a.m[i], a.v[i]
-		for j, g := range p.Grad {
-			g *= scale
-			m[j] = a.Beta1*m[j] + (1-a.Beta1)*g
-			v[j] = a.Beta2*v[j] + (1-a.Beta2)*g*g
-			p.Data[j] -= a.LR * (m[j] / bc1) / (math.Sqrt(v[j]/bc2) + a.Eps)
-		}
+		grad, data := p.Grad, p.Data
+		// The update is elementwise (the only cross-element coupling, the
+		// clip norm, is already folded into scale), so sharding it across
+		// the tensor worker pool changes nothing about the result.
+		tensor.ParallelFor(len(grad), 16, func(lo, hi int) {
+			for j := lo; j < hi; j++ {
+				g := grad[j] * scale
+				m[j] = a.Beta1*m[j] + (1-a.Beta1)*g
+				v[j] = a.Beta2*v[j] + (1-a.Beta2)*g*g
+				data[j] -= a.LR * (m[j] / bc1) / (math.Sqrt(v[j]/bc2) + a.Eps)
+			}
+		})
 	}
 }
 

@@ -1,0 +1,234 @@
+package tensor
+
+import "sync"
+
+// Arena is a bump allocator for the float64 buffers that back the autograd
+// tape: child tensor values, their gradients and per-op scratch (LayerNorm's
+// row statistics, Dropout masks, CrossEntropy's probabilities). A training
+// step allocates the same tape shape over and over; routing those buffers
+// through an arena and calling Reset after each optimizer step reuses the
+// same slabs every step instead of re-making them, which removes the
+// allocation/GC cost from the training hot path.
+//
+// An arena hands out zeroed memory (New's contract) and never frees slabs;
+// Reset rewinds the bump pointer so the next step reuses them. The caller
+// owns the lifetime contract: memory obtained while an arena is active must
+// not be used after the next Reset. Trainable parameters are unaffected —
+// only tensors built by ops (and NewEphemeral) draw from the arena.
+//
+// Alloc and Reset are safe for concurrent use (generation probes may run
+// tape ops on worker goroutines while a trainer holds the arena), but Reset
+// must only be called when no live tensor still references arena memory.
+type Arena struct {
+	mu    sync.Mutex
+	slabs [][]float64
+	slab  int // index of the slab currently being bumped
+	off   int // offset into slabs[slab]
+
+	slabFloats int
+	peak       int // high-water mark of floats in use, across Resets
+}
+
+// arenaSlabFloats is the default slab size (floats): 512 KiB per slab keeps
+// slab count low for CPU-sized models while staying cache-polite.
+const arenaSlabFloats = 1 << 16
+
+// NewArena returns an empty arena; slabs are allocated on demand.
+func NewArena() *Arena {
+	return &Arena{slabFloats: arenaSlabFloats}
+}
+
+// Alloc returns a zeroed length-n slice carved from the arena.
+func (a *Arena) Alloc(n int) []float64 {
+	out := a.AllocRaw(n)
+	clear(out)
+	return out
+}
+
+// AllocRaw is Alloc without the zeroing pass: the returned slice holds
+// whatever the recycled slab last held. Callers must overwrite every
+// element (the op layer uses it for outputs that are fully written by the
+// forward pass; gradients always go through the zeroing Alloc).
+func (a *Arena) AllocRaw(n int) []float64 {
+	if n == 0 {
+		return nil
+	}
+	a.mu.Lock()
+	for {
+		if a.slab < len(a.slabs) {
+			s := a.slabs[a.slab]
+			if a.off+n <= len(s) {
+				out := s[a.off : a.off+n : a.off+n]
+				a.off += n
+				a.mu.Unlock()
+				return out
+			}
+			// Current slab exhausted for this request; move on. The stranded
+			// tail is reclaimed at the next Reset.
+			a.slab++
+			a.off = 0
+			continue
+		}
+		size := a.slabFloats
+		if n > size {
+			size = n // oversized requests get a dedicated slab
+		}
+		a.slabs = append(a.slabs, make([]float64, size))
+	}
+}
+
+// Reset rewinds the arena so subsequent Allocs reuse the existing slabs.
+// Every slice previously returned by Alloc becomes invalid.
+func (a *Arena) Reset() {
+	a.mu.Lock()
+	if used := a.inUseLocked(); used > a.peak {
+		a.peak = used
+	}
+	a.slab = 0
+	a.off = 0
+	a.mu.Unlock()
+}
+
+func (a *Arena) inUseLocked() int {
+	used := a.off
+	for i := 0; i < a.slab && i < len(a.slabs); i++ {
+		used += len(a.slabs[i])
+	}
+	return used
+}
+
+// Footprint returns the total floats held by the arena's slabs.
+func (a *Arena) Footprint() int {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	total := 0
+	for _, s := range a.slabs {
+		total += len(s)
+	}
+	return total
+}
+
+// Peak returns the high-water mark of floats in use observed at Reset time.
+func (a *Arena) Peak() int {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	if used := a.inUseLocked(); used > a.peak {
+		return used
+	}
+	return a.peak
+}
+
+// activeArena is the ambient arena consulted by the op layer; nil means all
+// tape buffers come from the heap (the pre-arena behavior).
+var (
+	arenaMu     sync.Mutex
+	activeArena *Arena
+)
+
+// SetArena unconditionally installs a as the ambient arena for tape
+// allocations and returns the previous one so callers can scope the
+// override:
+//
+//	prev := tensor.SetArena(arena)
+//	defer tensor.SetArena(prev)
+//
+// Passing nil restores heap allocation. This is the low-level setter (used
+// by tests and benchmarks that own the whole process); trainers claim the
+// slot through InstallArena instead so concurrent runs cannot stomp each
+// other, and detach around callbacks with ArenaDetached. Whoever installs
+// an arena is responsible for calling Reset only when no live tensor still
+// references its memory.
+func SetArena(a *Arena) (prev *Arena) {
+	arenaMu.Lock()
+	prev, activeArena = activeArena, a
+	arenaMu.Unlock()
+	return prev
+}
+
+// ActiveArena returns the ambient arena, or nil when tape buffers come from
+// the heap.
+func ActiveArena() *Arena {
+	arenaMu.Lock()
+	defer arenaMu.Unlock()
+	return activeArena
+}
+
+// InstallArena atomically claims the ambient-arena slot for a: it installs
+// a only when no arena is currently installed and reports whether it did.
+// Trainers use this instead of SetArena so two arena-using training runs
+// cannot interleave installs/Resets/detaches against each other — the
+// loser of the race runs with heap tape allocation instead.
+//
+// The gate is NOT full concurrency isolation: the ambient arena is
+// process-global, so tape ops on any other goroutine while an arena is
+// installed will also draw from it and are then subject to the owner's
+// Reset cycle. Running other tape-building work (training, tape-based
+// generation) concurrently with an arena-owning trainer is unsupported;
+// the in-repo trainers are sequential, and they detach the arena
+// (ArenaDetached) around every callback that may run tape ops.
+func InstallArena(a *Arena) bool {
+	arenaMu.Lock()
+	defer arenaMu.Unlock()
+	if activeArena != nil {
+		return false
+	}
+	activeArena = a
+	return true
+}
+
+// UninstallArena clears the ambient-arena slot if a currently holds it.
+func UninstallArena(a *Arena) {
+	arenaMu.Lock()
+	if activeArena == a {
+		activeArena = nil
+	}
+	arenaMu.Unlock()
+}
+
+// ArenaDetached runs fn with the ambient arena detached, restoring it
+// afterwards even if fn panics. Trainers wrap user callbacks (probes,
+// epoch observers) in this so callback-allocated tensors are never tied to
+// the trainer's Reset cycle. The restore is conditional: if another arena
+// claimed the slot while fn ran, it is left in place.
+func ArenaDetached(fn func()) {
+	arenaMu.Lock()
+	prev := activeArena
+	activeArena = nil
+	arenaMu.Unlock()
+	defer func() {
+		arenaMu.Lock()
+		if activeArena == nil {
+			activeArena = prev
+		}
+		arenaMu.Unlock()
+	}()
+	fn()
+}
+
+// allocFloats returns a zeroed length-n buffer from the ambient arena when
+// one is installed, else from the heap. The bool reports arena ownership so
+// tensors can route their gradient buffers the same way.
+func allocFloats(n int) ([]float64, bool) {
+	arenaMu.Lock()
+	a := activeArena
+	arenaMu.Unlock()
+	if a == nil {
+		return make([]float64, n), false
+	}
+	return a.Alloc(n), true
+}
+
+// allocFloatsRaw is allocFloats without the zeroing guarantee when an arena
+// is active (heap allocations are always zeroed by the runtime). Used for
+// tensor values that every op fully overwrites; ops that rely on
+// zero-initialized output (CausalSoftmax's masked triangle, MeanRows'
+// accumulator) clear it explicitly.
+func allocFloatsRaw(n int) ([]float64, bool) {
+	arenaMu.Lock()
+	a := activeArena
+	arenaMu.Unlock()
+	if a == nil {
+		return make([]float64, n), false
+	}
+	return a.AllocRaw(n), true
+}

@@ -1,0 +1,306 @@
+package tensor
+
+import (
+	"math"
+	"math/rand/v2"
+	"runtime"
+	"testing"
+)
+
+// withArena runs fn with a fresh ambient arena installed and returns it.
+func withArena(fn func()) *Arena {
+	a := NewArena()
+	prev := SetArena(a)
+	defer SetArena(prev)
+	fn()
+	return a
+}
+
+// tapeStep runs a representative forward+backward over the ops whose scratch
+// is arena-routed (matmul, layernorm, dropout, cross-entropy) and returns
+// the loss value and the weight gradient.
+func tapeStep(rng *rand.Rand) (float64, []float64) {
+	w := Randn(16, 8, 0.5, rng).Param()
+	gain := New(1, 8)
+	for i := range gain.Data {
+		gain.Data[i] = 1
+	}
+	gain.Param()
+	bias := New(1, 8).Param()
+	x := Randn(12, 16, 1, rng)
+	h := LayerNorm(MatMul(x, w), gain, bias, 1e-5)
+	h = Dropout(h, 0.25, rng)
+	targets := make([]int, 12)
+	for i := range targets {
+		targets[i] = i % 8
+	}
+	loss := CrossEntropy(h, targets)
+	loss.Backward()
+	return loss.Data[0], append([]float64(nil), w.Grad...)
+}
+
+// TestArenaValuesMatchHeap: routing the tape through an arena must not
+// change a single bit of any value or gradient.
+func TestArenaValuesMatchHeap(t *testing.T) {
+	heapLoss, heapGrad := tapeStep(rand.New(rand.NewPCG(7, 9)))
+	var arenaLoss float64
+	var arenaGrad []float64
+	withArena(func() {
+		arenaLoss, arenaGrad = tapeStep(rand.New(rand.NewPCG(7, 9)))
+	})
+	if heapLoss != arenaLoss {
+		t.Fatalf("loss: heap %v != arena %v", heapLoss, arenaLoss)
+	}
+	for i := range heapGrad {
+		if heapGrad[i] != arenaGrad[i] {
+			t.Fatalf("grad[%d]: heap %v != arena %v", i, heapGrad[i], arenaGrad[i])
+		}
+	}
+}
+
+// TestArenaReuse: after Reset the arena serves subsequent steps from the
+// same slabs — the footprint stops growing after the first step, and fresh
+// allocations come back zeroed despite the recycled memory.
+func TestArenaReuse(t *testing.T) {
+	a := NewArena()
+	prev := SetArena(a)
+	defer SetArena(prev)
+
+	tapeStep(rand.New(rand.NewPCG(1, 2)))
+	a.Reset()
+	after1 := a.Footprint()
+	for i := 0; i < 5; i++ {
+		tapeStep(rand.New(rand.NewPCG(1, 2)))
+		a.Reset()
+	}
+	if got := a.Footprint(); got != after1 {
+		t.Fatalf("footprint grew across identical steps: %d -> %d floats", after1, got)
+	}
+	buf := a.Alloc(4096)
+	for i, v := range buf {
+		if v != 0 {
+			t.Fatalf("recycled alloc not zeroed at %d: %v", i, v)
+		}
+	}
+	if a.Peak() == 0 {
+		t.Fatal("peak usage not tracked")
+	}
+}
+
+// TestInstallArenaGating: only one trainer can hold the ambient slot; the
+// loser falls back to heap allocation, and ArenaDetached restores the
+// owner's arena even when the callback panics.
+func TestInstallArenaGating(t *testing.T) {
+	a, b := NewArena(), NewArena()
+	if !InstallArena(a) {
+		t.Fatal("first install refused")
+	}
+	defer UninstallArena(a)
+	if InstallArena(b) {
+		t.Fatal("second install succeeded while slot held")
+	}
+	if ActiveArena() != a {
+		t.Fatal("ambient arena is not the first installer")
+	}
+	func() {
+		defer func() { recover() }()
+		ArenaDetached(func() {
+			if ActiveArena() != nil {
+				t.Fatal("arena not detached inside callback")
+			}
+			panic("callback exploded")
+		})
+	}()
+	if ActiveArena() != a {
+		t.Fatal("arena not restored after panicking callback")
+	}
+	UninstallArena(b) // wrong owner: must be a no-op
+	if ActiveArena() != a {
+		t.Fatal("UninstallArena removed an arena it does not own")
+	}
+	UninstallArena(a)
+	if ActiveArena() != nil {
+		t.Fatal("slot not released")
+	}
+}
+
+// TestArenaOversizedAlloc: requests larger than a slab get a dedicated slab
+// and survive Reset cycles.
+func TestArenaOversizedAlloc(t *testing.T) {
+	a := NewArena()
+	big := a.Alloc(arenaSlabFloats * 3)
+	if len(big) != arenaSlabFloats*3 {
+		t.Fatalf("oversized alloc length %d", len(big))
+	}
+	a.Reset()
+	if got := a.Alloc(arenaSlabFloats * 3); len(got) != arenaSlabFloats*3 {
+		t.Fatalf("oversized re-alloc length %d", len(got))
+	}
+}
+
+// TestArenaCutsTapeAllocations is the allocation regression guard for the
+// arena'd kernels: a steady-state forward+backward step under the arena
+// (parameters and inputs pre-built, as in a real training loop) must
+// allocate well under half of what the heap path does — what remains is
+// tape bookkeeping (tensor structs and closures), not float buffers.
+func TestArenaCutsTapeAllocations(t *testing.T) {
+	prev := SetParallelism(1)
+	defer SetParallelism(prev)
+
+	rng := rand.New(rand.NewPCG(3, 4))
+	w := Randn(16, 8, 0.5, rng).Param()
+	gain := New(1, 8)
+	for i := range gain.Data {
+		gain.Data[i] = 1
+	}
+	gain.Param()
+	bias := New(1, 8).Param()
+	x := Randn(12, 16, 1, rng)
+	targets := make([]int, 12)
+	for i := range targets {
+		targets[i] = i % 8
+	}
+	step := func() {
+		h := LayerNorm(MatMul(x, w), gain, bias, 1e-5)
+		h = Dropout(h, 0.25, rng)
+		CrossEntropy(h, targets).Backward()
+		w.ZeroGrad()
+		gain.ZeroGrad()
+		bias.ZeroGrad()
+	}
+
+	heapAllocs := testing.AllocsPerRun(50, step)
+	heapBytes := bytesPerRun(50, step)
+
+	a := NewArena()
+	prevA := SetArena(a)
+	defer SetArena(prevA)
+	arenaStep := func() {
+		step()
+		a.Reset()
+	}
+	arenaAllocs := testing.AllocsPerRun(50, arenaStep)
+	arenaBytes := bytesPerRun(50, arenaStep)
+
+	// The arena's win is measured in bytes: every float buffer of the tape
+	// (values, grads, op scratch) moves off the heap. What remains is small
+	// fixed bookkeeping (tensor structs, op closures), so bytes must drop
+	// by far more than half; allocation count drops too, but less sharply.
+	if arenaBytes*2 > heapBytes {
+		t.Fatalf("arena step allocates %d B, heap step %d B — want < half", arenaBytes, heapBytes)
+	}
+	if arenaAllocs >= heapAllocs {
+		t.Fatalf("arena step allocates %.0f objects, heap step %.0f — want fewer", arenaAllocs, heapAllocs)
+	}
+}
+
+// bytesPerRun measures average heap bytes allocated per fn() call.
+func bytesPerRun(runs int, fn func()) uint64 {
+	defer runtime.GOMAXPROCS(runtime.GOMAXPROCS(1))
+	fn() // warm-up outside the measured window
+	runtime.GC()
+	var m0, m1 runtime.MemStats
+	runtime.ReadMemStats(&m0)
+	for i := 0; i < runs; i++ {
+		fn()
+	}
+	runtime.ReadMemStats(&m1)
+	return (m1.TotalAlloc - m0.TotalAlloc) / uint64(runs)
+}
+
+// TestMatMulBlockedMatchesNaive: the cache-blocked, transpose-packed kernels
+// accumulate in the same order as the naive ones for the forward product and
+// the weight gradient, so those must be bit-identical, including at sizes
+// that do not divide the tile dimensions. The input gradient's blocked path
+// re-associates its reduction (terms fold directly into the destination
+// instead of a local dot accumulator), so it is checked to a 1-ulp-scale
+// relative tolerance instead.
+func TestMatMulBlockedMatchesNaive(t *testing.T) {
+	shapes := [][3]int{
+		{16, 16, 16},
+		{33, 47, 65},   // straddles mmBlockJ
+		{7, 130, 200},  // straddles mmBlockK
+		{129, 64, 129}, // multiple j-tiles, parallel-eligible
+		{1, 300, 5},
+		{200, 17, 4},
+	}
+	for _, sh := range shapes {
+		m, k, n := sh[0], sh[1], sh[2]
+		run := func(blocked bool) (y, ga, gb []float64) {
+			prev := SetBlockedMatMul(blocked)
+			defer SetBlockedMatMul(prev)
+			rng := rand.New(rand.NewPCG(11, uint64(m*k*n)))
+			a := Randn(m, k, 1, rng).Param()
+			b := Randn(k, n, 1, rng).Param()
+			out := MatMul(a, b)
+			Mean(out).Backward()
+			return append([]float64(nil), out.Data...),
+				append([]float64(nil), a.Grad...),
+				append([]float64(nil), b.Grad...)
+		}
+		ny, nga, ngb := run(false)
+		by, bga, bgb := run(true)
+		cmp := func(name string, naive, blocked []float64, tol float64) {
+			t.Helper()
+			for i := range naive {
+				d := math.Abs(naive[i] - blocked[i])
+				if d > tol*(1+math.Abs(naive[i])) {
+					t.Fatalf("%d×%d·%d×%d %s[%d]: naive %v != blocked %v",
+						m, k, k, n, name, i, naive[i], blocked[i])
+				}
+			}
+		}
+		cmp("out", ny, by, 0)
+		cmp("dA", nga, bga, 1e-12)
+		cmp("dB", ngb, bgb, 0)
+	}
+}
+
+// TestGatherRows covers the packed-minibatch positional lookup: forward
+// selection and scatter-add gradients.
+func TestGatherRows(t *testing.T) {
+	rng := rand.New(rand.NewPCG(5, 6))
+	a := Randn(6, 3, 1, rng).Param()
+	idx := []int{0, 1, 2, 0, 1, 0}
+	out := GatherRows(a, idx)
+	for r, src := range idx {
+		for c := 0; c < 3; c++ {
+			if out.At(r, c) != a.At(src, c) {
+				t.Fatalf("gather row %d", r)
+			}
+		}
+	}
+	Sum(out).Backward()
+	counts := []float64{3, 2, 1, 0, 0, 0} // row 0 picked 3×, row 1 2×, row 2 1×
+	for r, want := range counts {
+		for c := 0; c < 3; c++ {
+			if got := a.Grad[r*3+c]; got != want {
+				t.Fatalf("grad row %d col %d = %v, want %v", r, c, got, want)
+			}
+		}
+	}
+}
+
+// TestConcatRows covers the segment-reassembly op of packed attention.
+func TestConcatRows(t *testing.T) {
+	rng := rand.New(rand.NewPCG(8, 9))
+	a := Randn(2, 3, 1, rng).Param()
+	b := Randn(4, 3, 1, rng).Param()
+	out := ConcatRows(a, b)
+	if out.Rows != 6 || out.Cols != 3 {
+		t.Fatalf("shape %d×%d", out.Rows, out.Cols)
+	}
+	for c := 0; c < 3; c++ {
+		if out.At(1, c) != a.At(1, c) || out.At(2, c) != b.At(0, c) {
+			t.Fatal("concat rows misplaced")
+		}
+	}
+	Scale(Sum(out), 2).Backward()
+	for _, p := range []*Tensor{a, b} {
+		for i, g := range p.Grad {
+			if g != 2 {
+				t.Fatalf("grad[%d] = %v, want 2", i, g)
+			}
+		}
+	}
+}

@@ -88,6 +88,7 @@ func CausalSoftmax(a *Tensor) *Tensor {
 			}
 		})
 	}, a)
+	clear(out.Data) // the masked triangle (j > r) must read as exact zeros
 	ParallelFor(n, 4*n, func(lo, hi int) {
 		for r := lo; r < hi; r++ {
 			x := a.Data[r*n : r*n+r+1]
@@ -106,10 +107,13 @@ func LayerNorm(a, gain, bias *Tensor, eps float64) *Tensor {
 		panic("tensor: LayerNorm gain/bias must be 1×cols")
 	}
 	n := float64(a.Cols)
-	// Cache per-row mean and inverse std for the backward pass.
-	mu := make([]float64, a.Rows)
-	istd := make([]float64, a.Rows)
-	xhat := make([]float64, len(a.Data))
+	// Cache per-row inverse std and normalized values for the backward pass
+	// (the mean itself is not needed again). This scratch lives as long as
+	// the tape, so it draws from the arena — raw, since the forward pass
+	// fully overwrites both views — instead of being re-made every forward.
+	scratch, _ := allocFloatsRaw(a.Rows + len(a.Data))
+	istd := scratch[:a.Rows]
+	xhat := scratch[a.Rows:]
 
 	out := child(a.Rows, a.Cols, "layernorm", func(out *Tensor) {
 		// Gain/bias gradients accumulate across rows, so they stay serial
@@ -171,7 +175,7 @@ func LayerNorm(a, gain, bias *Tensor, eps float64) *Tensor {
 			}
 			v /= n
 			is := 1 / math.Sqrt(v+eps)
-			mu[r], istd[r] = m, is
+			istd[r] = is
 			y := out.Data[r*a.Cols : (r+1)*a.Cols]
 			xh := xhat[r*a.Cols : (r+1)*a.Cols]
 			for j, xv := range x {
@@ -193,7 +197,9 @@ func Dropout(a *Tensor, p float64, rng *rand.Rand) *Tensor {
 	if p >= 1 {
 		panic("tensor: Dropout p must be < 1")
 	}
-	mask := make([]float64, len(a.Data))
+	// The mask is consulted by the backward closure, so it is tape-lived
+	// scratch: arena-allocated when a trainer has one installed.
+	mask, _ := allocFloats(len(a.Data))
 	scale := 1 / (1 - p)
 	for i := range mask {
 		if rng.Float64() >= p {
@@ -214,24 +220,27 @@ func Dropout(a *Tensor, p float64, rng *rand.Rand) *Tensor {
 	return out
 }
 
-// MeanRows returns the column means of a as a 1×m row vector.
+// MeanRows returns the column means of a as a 1×m row vector. The 1/n
+// reciprocal is hoisted out of the element loops (one division instead of
+// one per element, forward and backward).
 func MeanRows(a *Tensor) *Tensor {
-	n := float64(a.Rows)
+	inv := 1 / float64(a.Rows)
 	out := child(1, a.Cols, "mean_rows", func(out *Tensor) {
 		if a.requiresGrad {
 			g := a.ensureGrad()
 			for r := 0; r < a.Rows; r++ {
 				gr := g[r*a.Cols : (r+1)*a.Cols]
 				for j, v := range out.Grad {
-					gr[j] += v / n
+					gr[j] += v * inv
 				}
 			}
 		}
 	}, a)
+	clear(out.Data) // accumulated below, so it must start at zero
 	for r := 0; r < a.Rows; r++ {
 		row := a.Data[r*a.Cols : (r+1)*a.Cols]
 		for j, v := range row {
-			out.Data[j] += v / n
+			out.Data[j] += v * inv
 		}
 	}
 	return out
@@ -310,7 +319,9 @@ func CrossEntropy(logits *Tensor, targets []int) *Tensor {
 		panic(fmt.Sprintf("tensor: CrossEntropy got %d targets for %d rows", len(targets), logits.Rows))
 	}
 	c := logits.Cols
-	probs := make([]float64, len(logits.Data))
+	// probs backs both the forward loss and the backward gradient, so it is
+	// tape-lived scratch (arena-allocated under a trainer).
+	probs, _ := allocFloats(len(logits.Data))
 	active := 0
 	for _, t := range targets {
 		if t >= 0 {

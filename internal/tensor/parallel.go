@@ -131,17 +131,21 @@ var bufPool = sync.Pool{New: func() any { b := make([]float64, 0, 1024); return 
 // getBuf returns a zeroed scratch slice of length n from the pool, paired
 // with the pool handle to pass back to putBuf.
 func getBuf(n int) (buf []float64, handle *[]float64) {
+	buf, handle = getRawBuf(n)
+	clear(buf)
+	return buf, handle
+}
+
+// getRawBuf is getBuf without the zeroing pass, for scratch that the caller
+// fully overwrites (e.g. the packed operand panels of the blocked MatMul).
+func getRawBuf(n int) (buf []float64, handle *[]float64) {
 	handle = bufPool.Get().(*[]float64)
 	b := *handle
 	if cap(b) < n {
 		b = make([]float64, n)
 		*handle = b
 	}
-	b = b[:n]
-	for i := range b {
-		b[i] = 0
-	}
-	return b, handle
+	return b[:n], handle
 }
 
 // putBuf returns a scratch slice to the pool.

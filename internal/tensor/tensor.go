@@ -16,6 +16,7 @@ import (
 	"fmt"
 	"math"
 	"math/rand/v2"
+	"sync/atomic"
 )
 
 // Tensor is a dense row-major matrix (rank ≤ 2; vectors are 1×n or n×1
@@ -29,17 +30,33 @@ type Tensor struct {
 	Rows, Cols int
 
 	requiresGrad bool
+	ephemeral    bool // Data came from the ambient arena (see arena.go)
 	parents      []*Tensor
-	backFn       func()
+	backFn       func(out *Tensor)
+	visit        uint64 // topoSort generation mark (see Backward)
 	op           string
 }
 
 // New returns a zero-valued rows×cols tensor that does not require grad.
+// Its buffer always comes from the heap, so it may outlive any arena Reset —
+// use New for parameters and other persistent tensors.
 func New(rows, cols int) *Tensor {
 	if rows <= 0 || cols <= 0 {
 		panic(fmt.Sprintf("tensor: invalid shape %d×%d", rows, cols))
 	}
 	return &Tensor{Data: make([]float64, rows*cols), Rows: rows, Cols: cols}
+}
+
+// NewEphemeral returns a zero-valued rows×cols tensor whose buffer comes
+// from the ambient arena when one is installed (falling back to the heap).
+// It must not be used after the arena's next Reset; trainers use it for
+// per-step inputs like packed minibatch token matrices.
+func NewEphemeral(rows, cols int) *Tensor {
+	if rows <= 0 || cols <= 0 {
+		panic(fmt.Sprintf("tensor: invalid shape %d×%d", rows, cols))
+	}
+	data, eph := allocFloats(rows * cols)
+	return &Tensor{Data: data, Rows: rows, Cols: cols, ephemeral: eph}
 }
 
 // FromSlice wraps data (not copied) as a rows×cols tensor.
@@ -87,10 +104,17 @@ func (t *Tensor) String() string {
 	return fmt.Sprintf("Tensor(%d×%d, op=%s, grad=%v)", t.Rows, t.Cols, t.op, t.requiresGrad)
 }
 
-// ensureGrad allocates the gradient buffer on first use.
+// ensureGrad allocates the gradient buffer on first use. Tape tensors whose
+// values live in the arena keep their gradients there too; persistent
+// tensors (parameters) always get heap gradients, which must survive until
+// the optimizer consumes them.
 func (t *Tensor) ensureGrad() []float64 {
 	if t.Grad == nil {
-		t.Grad = make([]float64, len(t.Data))
+		if t.ephemeral {
+			t.Grad, _ = allocFloats(len(t.Data))
+		} else {
+			t.Grad = make([]float64, len(t.Data))
+		}
 	}
 	return t.Grad
 }
@@ -103,9 +127,14 @@ func (t *Tensor) ZeroGrad() {
 }
 
 // child constructs a result tensor wired to its parents when any of them
-// requires grad; back is only retained in that case.
+// requires grad; back is only retained in that case. Child values are
+// tape-lived, so they draw from the ambient arena when one is installed.
 func child(rows, cols int, op string, back func(out *Tensor), parents ...*Tensor) *Tensor {
-	out := New(rows, cols)
+	// Raw (non-zeroed) arena memory: every op overwrites its full output in
+	// the forward pass, except CausalSoftmax and MeanRows, which clear it
+	// explicitly.
+	data, eph := allocFloatsRaw(rows * cols)
+	out := &Tensor{Data: data, Rows: rows, Cols: cols, ephemeral: eph}
 	out.op = op
 	need := false
 	for _, p := range parents {
@@ -117,7 +146,9 @@ func child(rows, cols int, op string, back func(out *Tensor), parents ...*Tensor
 	if need {
 		out.requiresGrad = true
 		out.parents = parents
-		out.backFn = func() { back(out) }
+		// Stored as func(*Tensor) and invoked with the node itself, so no
+		// extra closure is allocated per op just to capture out.
+		out.backFn = back
 	}
 	return out
 }
@@ -134,13 +165,23 @@ func (t *Tensor) Backward() {
 	g[0] = 1
 	for i := len(order) - 1; i >= 0; i-- {
 		if order[i].backFn != nil {
-			order[i].backFn()
+			order[i].backFn(order[i])
 		}
 	}
 }
 
+// visitGen issues a fresh generation per topoSort (atomically, so
+// concurrent Backward calls over disjoint tapes stay as safe as they were
+// with the old per-call map); a tensor is "visited" when its visit field
+// equals the current generation. This replaces the per-Backward map (and
+// its rehashing) with one field write per node. Backward has never
+// supported running concurrently over tapes that *share* tensors (gradient
+// accumulation would race), and the marks add no new constraint beyond
+// that.
+var visitGen atomic.Uint64
+
 func topoSort(root *Tensor) []*Tensor {
-	visited := make(map[*Tensor]bool)
+	gen := visitGen.Add(1)
 	var order []*Tensor
 	// Iterative DFS to avoid deep recursion on long tapes.
 	type frame struct {
@@ -148,14 +189,14 @@ func topoSort(root *Tensor) []*Tensor {
 		next int
 	}
 	stack := []frame{{t: root}}
-	visited[root] = true
+	root.visit = gen
 	for len(stack) > 0 {
 		f := &stack[len(stack)-1]
 		if f.next < len(f.t.parents) {
 			p := f.t.parents[f.next]
 			f.next++
-			if p != nil && !visited[p] && p.requiresGrad {
-				visited[p] = true
+			if p != nil && p.visit != gen && p.requiresGrad {
+				p.visit = gen
 				stack = append(stack, frame{t: p})
 			}
 			continue
@@ -170,68 +211,6 @@ func topoSort(root *Tensor) []*Tensor {
 // pool when work is large enough, otherwise inline (see parallel.go).
 func parallelRows(rows, workPerRow int, fn func(lo, hi int)) {
 	ParallelFor(rows, workPerRow, fn)
-}
-
-// matmulInto computes dst = a(rA×cA) · b(cA×cB) with dst pre-sized.
-func matmulInto(dst, a, b []float64, rA, cA, cB int) {
-	parallelRows(rA, cA*cB, func(lo, hi int) {
-		for i := lo; i < hi; i++ {
-			ai := a[i*cA : (i+1)*cA]
-			di := dst[i*cB : (i+1)*cB]
-			for j := range di {
-				di[j] = 0
-			}
-			for k, av := range ai {
-				if av == 0 {
-					continue
-				}
-				bk := b[k*cB : (k+1)*cB]
-				for j, bv := range bk {
-					di[j] += av * bv
-				}
-			}
-		}
-	})
-}
-
-// matmulAccT computes dst += aᵀ(cA×rA)·b(rA×cB) where a is rA×cA — used for
-// weight gradients (dW = Xᵀ·dY).
-func matmulAccT(dst, a, b []float64, rA, cA, cB int) {
-	parallelRows(cA, rA*cB, func(lo, hi int) {
-		for i := lo; i < hi; i++ { // row of aᵀ = column i of a
-			di := dst[i*cB : (i+1)*cB]
-			for k := 0; k < rA; k++ {
-				av := a[k*cA+i]
-				if av == 0 {
-					continue
-				}
-				bk := b[k*cB : (k+1)*cB]
-				for j, bv := range bk {
-					di[j] += av * bv
-				}
-			}
-		}
-	})
-}
-
-// matmulAccBT computes dst += a(rA×cA)·bᵀ(cB×cA→cA×cB)… precisely:
-// dst(rA×rB) += a(rA×cA) · bᵀ where b is rB×cA — used for input gradients
-// (dX = dY·Wᵀ).
-func matmulAccBT(dst, a, b []float64, rA, cA, rB int) {
-	parallelRows(rA, cA*rB, func(lo, hi int) {
-		for i := lo; i < hi; i++ {
-			ai := a[i*cA : (i+1)*cA]
-			di := dst[i*rB : (i+1)*rB]
-			for j := 0; j < rB; j++ {
-				bj := b[j*cA : (j+1)*cA]
-				var s float64
-				for k, av := range ai {
-					s += av * bj[k]
-				}
-				di[j] += s
-			}
-		}
-	})
 }
 
 // MatMul returns a·b for a (m×k) and b (k×n).
@@ -451,6 +430,78 @@ func SliceRows(a *Tensor, lo, hi int) *Tensor {
 		}
 	}, a)
 	copy(out.Data, a.Data[lo*a.Cols:hi*a.Cols])
+	return out
+}
+
+// GatherRows returns the row selection a[idx[0]], a[idx[1]], … as a new
+// len(idx)×cols tensor; gradients scatter-add back into the selected rows.
+// The scatter runs serially in ascending output-row order, so when segments
+// of idx are stacked stream-by-stream (the packed-minibatch positional
+// lookup) the accumulation order matches processing the streams one at a
+// time — a bit-exactness requirement of the packed trainer.
+func GatherRows(a *Tensor, idx []int) *Tensor {
+	if len(idx) == 0 {
+		panic("tensor: GatherRows of nothing")
+	}
+	for _, r := range idx {
+		if r < 0 || r >= a.Rows {
+			panic(fmt.Sprintf("tensor: GatherRows index %d out of %d rows", r, a.Rows))
+		}
+	}
+	rows := append([]int(nil), idx...)
+	c := a.Cols
+	out := child(len(rows), c, "gather_rows", func(out *Tensor) {
+		if a.requiresGrad {
+			g := a.ensureGrad()
+			for r, src := range rows {
+				or := out.Grad[r*c : (r+1)*c]
+				gr := g[src*c : (src+1)*c]
+				for j, v := range or {
+					gr[j] += v
+				}
+			}
+		}
+	}, a)
+	for r, src := range rows {
+		copy(out.Data[r*c:(r+1)*c], a.Data[src*c:(src+1)*c])
+	}
+	return out
+}
+
+// ConcatRows concatenates tensors with equal column counts along rows — the
+// reassembly primitive of segment-wise packed attention.
+func ConcatRows(ts ...*Tensor) *Tensor {
+	if len(ts) == 0 {
+		panic("tensor: ConcatRows of nothing")
+	}
+	cols := ts[0].Cols
+	total := 0
+	for _, t := range ts {
+		if t.Cols != cols {
+			panic("tensor: ConcatRows column mismatch")
+		}
+		total += t.Rows
+	}
+	parents := append([]*Tensor(nil), ts...)
+	out := child(total, cols, "concat_rows", func(out *Tensor) {
+		off := 0
+		for _, t := range parents {
+			n := t.Rows * cols
+			if t.requiresGrad {
+				g := t.ensureGrad()
+				src := out.Grad[off : off+n]
+				for i, v := range src {
+					g[i] += v
+				}
+			}
+			off += n
+		}
+	}, parents...)
+	off := 0
+	for _, t := range ts {
+		n := copy(out.Data[off:], t.Data)
+		off += n
+	}
 	return out
 }
 
