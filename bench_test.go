@@ -19,7 +19,9 @@ import (
 	"cptgpt/internal/cptgpt"
 	"cptgpt/internal/events"
 	"cptgpt/internal/experiments"
+	"cptgpt/internal/mcn"
 	"cptgpt/internal/metrics"
+	"cptgpt/internal/scenario"
 	"cptgpt/internal/smm"
 	"cptgpt/internal/stats"
 	"cptgpt/internal/synthetic"
@@ -315,6 +317,87 @@ func BenchmarkTraceJSONLRoundTrip(b *testing.B) {
 		}
 		if _, err := trace.ReadJSONL(&buf); err != nil {
 			b.Fatal(err)
+		}
+	}
+}
+
+// benchScenario drains a built-in scenario once per op and reports
+// amortized ns/event through the full pipeline (generate → transform →
+// spill → merge).
+func benchScenario(b *testing.B, name string, ues int, opts scenario.RunOpts) {
+	b.Helper()
+	spec, err := scenario.Builtin(name)
+	if err != nil {
+		b.Fatal(err)
+	}
+	opts.UEs = ues
+	// One warm-up run sizes the event count for the per-event metric.
+	st, err := spec.Open(opts)
+	if err != nil {
+		b.Fatal(err)
+	}
+	sum, err := scenario.Drain(st)
+	st.Close()
+	if err != nil {
+		b.Fatal(err)
+	}
+	if sum.Events == 0 {
+		b.Fatal("scenario emitted no events")
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		st, err := spec.Open(opts)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if _, err := scenario.Drain(st); err != nil {
+			b.Fatal(err)
+		}
+		st.Close()
+	}
+	b.ReportMetric(float64(b.Elapsed().Nanoseconds())/float64(b.N*sum.Events), "ns/event")
+}
+
+// BenchmarkScenarioMergePerEvent measures the streaming scenario pipeline
+// end-to-end on the flash-crowd preset and reports amortized ns/event —
+// the currency of the "millions of users" north star (1M UEs ≈ 33M events
+// at this preset's shape).
+func BenchmarkScenarioMergePerEvent(b *testing.B) {
+	benchScenario(b, "flash-crowd", 2000, scenario.RunOpts{})
+}
+
+// BenchmarkScenarioMergePerEventNarrow forces the hierarchical merge path
+// (tiny chunks, fan-in 4) over the same workload — the spill/merge overhead
+// bound.
+func BenchmarkScenarioMergePerEventNarrow(b *testing.B) {
+	benchScenario(b, "flash-crowd", 2000, scenario.RunOpts{BatchSize: 64, MaxFanIn: 4})
+}
+
+// BenchmarkScenarioFlashCrowd runs a 10k-UE flash crowd into the MCN sink
+// per op — the full scenario → simulator pipeline. The alloc guard for
+// bounded-memory streaming is TestBoundedMemoryStreaming in
+// internal/scenario; here the per-op heap is reported as a metric via
+// ReportAllocs for trend tracking.
+func BenchmarkScenarioFlashCrowd(b *testing.B) {
+	spec, err := scenario.Builtin("flash-crowd")
+	if err != nil {
+		b.Fatal(err)
+	}
+	cfg := mcn.DefaultConfig()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		st, err := spec.Open(scenario.RunOpts{UEs: 10000})
+		if err != nil {
+			b.Fatal(err)
+		}
+		rep, err := scenario.RunMCN(st, cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		st.Close()
+		if i == 0 {
+			b.ReportMetric(float64(rep.Events), "events/op")
 		}
 	}
 }

@@ -1,0 +1,192 @@
+// Command cptscenario runs a declarative workload scenario through the
+// streaming pipeline into a chosen sink.
+//
+// Usage:
+//
+//	cptscenario -list
+//	cptscenario -spec flash-crowd -ues 1000000 -sink mcn
+//	cptscenario -spec my-scenario.json -ues 100000 -sink jsonl -out events.jsonl.gz
+//	cptscenario -spec handover-storm -save-spec storm.json
+//	cptscenario -spec paging-storm -sink replay -addr 127.0.0.1:9000 -speedup 600
+//
+// -spec accepts a built-in name or a JSON spec path. Sinks: "count" (drain
+// and summarize), "mcn" (the simulated mobile-core NF), "jsonl"/"csv"
+// (event-interleaved trace files, ".gz"-transparent) and "replay" (pace
+// onto a replaynet TCP server). Peak memory is O(-batch), independent of
+// -ues, and output is bit-identical at every -parallelism and -batch.
+package main
+
+import (
+	"compress/gzip"
+	"flag"
+	"fmt"
+	"io"
+	"log"
+	"os"
+	"strings"
+	"time"
+
+	cptgen "cptgpt"
+	"cptgpt/internal/scenario"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("cptscenario: ")
+
+	var (
+		specArg  = flag.String("spec", "", "built-in scenario name or spec JSON path")
+		list     = flag.Bool("list", false, "list built-in scenarios and exit")
+		saveSpec = flag.String("save-spec", "", "write the resolved spec as JSON and exit")
+		ues      = flag.Int("ues", 0, "total UE population (0 = the spec's default)")
+		sink     = flag.String("sink", "count", "sink: count, mcn, jsonl, csv or replay")
+		out      = flag.String("out", "", "output path for jsonl/csv sinks (default stdout; .gz compresses)")
+		addr     = flag.String("addr", "127.0.0.1:9000", "replaynet server address (replay sink)")
+		speedup  = flag.Float64("speedup", 0, "trace-time speedup for the replay sink (0 = full speed)")
+		par      = flag.Int("parallelism", 0, "generation worker count (0 = all cores); output is identical at any value")
+		batch    = flag.Int("batch", 0, "UE streams per generation chunk (0 = default); output is identical at any value")
+		fanIn    = flag.Int("fanin", 0, "merge fan-in bound (0 = default)")
+		tmp      = flag.String("tmp", "", "spill directory (default system temp)")
+	)
+	flag.Parse()
+
+	if *list {
+		for _, name := range cptgen.BuiltinScenarios() {
+			spec, err := cptgen.BuiltinScenario(name)
+			if err != nil {
+				log.Fatal(err)
+			}
+			fmt.Printf("%-24s %s\n", name, spec.Description)
+		}
+		return
+	}
+	if *specArg == "" {
+		log.Fatal("-spec is required (see -list for built-ins)")
+	}
+
+	spec, err := loadSpec(*specArg)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if *saveSpec != "" {
+		if err := spec.Save(*saveSpec); err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("wrote %s\n", *saveSpec)
+		return
+	}
+
+	opts := cptgen.ScenarioRunOpts{
+		UEs: *ues, Parallelism: *par, BatchSize: *batch,
+		MaxFanIn: *fanIn, TempDir: *tmp,
+	}
+
+	start := time.Now()
+	switch *sink {
+	case "count":
+		sum, err := cptgen.RunScenario(spec, opts)
+		if err != nil {
+			log.Fatal(err)
+		}
+		printSummary(spec, sum, time.Since(start))
+
+	case "mcn":
+		rep, err := cptgen.RunScenarioMCN(spec, opts, cptgen.DefaultMCNConfig())
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("scenario %s: %d events from %d UEs in %v\n", spec.Name, rep.Events, rep.UEs, time.Since(start).Round(time.Millisecond))
+		fmt.Printf("mcn: rejected=%d (%.4f%%) peak_rate=%.1f/s peak_connected=%d\n",
+			rep.Rejected, 100*float64(rep.Rejected)/float64(max(rep.Events, 1)), rep.PeakRate, rep.PeakConnectedUEs)
+		fmt.Printf("mcn: latency mean=%.2fms p95=%.2fms p99=%.2fms instances[final=%d max=%d]\n",
+			1e3*rep.MeanLatencySec, 1e3*rep.P95LatencySec, 1e3*rep.P99LatencySec, rep.FinalInstances, rep.MaxInstancesUsed)
+
+	case "jsonl", "csv":
+		// log.Fatal skips deferred cleanup, so the stream (and its spill
+		// directory) is closed explicitly before any fatal exit.
+		st, err := cptgen.OpenScenario(spec, opts)
+		if err != nil {
+			log.Fatal(err)
+		}
+		w, closeW, err := openOut(*out)
+		if err != nil {
+			st.Close()
+			log.Fatal(err)
+		}
+		var n int
+		if *sink == "jsonl" {
+			n, err = scenario.WriteJSONL(w, st)
+		} else {
+			n, err = scenario.WriteCSV(w, st)
+		}
+		if cerr := closeW(); err == nil {
+			err = cerr
+		}
+		st.Close()
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Fprintf(os.Stderr, "scenario %s: wrote %d events in %v\n", spec.Name, n, time.Since(start).Round(time.Millisecond))
+
+	case "replay":
+		st, err := cptgen.OpenScenario(spec, opts)
+		if err != nil {
+			log.Fatal(err)
+		}
+		stats, err := scenario.ReplayTCP(*addr, st, cptgen.ReplayOpts{Speedup: *speedup})
+		st.Close()
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("scenario %s replayed in %v: server saw %d events, %d rejected, peak %d connected UEs\n",
+			spec.Name, time.Since(start).Round(time.Millisecond), stats.Events, stats.Rejected, stats.PeakConnectedUEs)
+
+	default:
+		log.Fatalf("unknown sink %q (want count, mcn, jsonl, csv or replay)", *sink)
+	}
+}
+
+// loadSpec resolves a built-in name or a spec file path.
+func loadSpec(arg string) (*cptgen.ScenarioSpec, error) {
+	if strings.ContainsAny(arg, "./\\") {
+		return cptgen.LoadScenario(arg)
+	}
+	if spec, err := cptgen.BuiltinScenario(arg); err == nil {
+		return spec, nil
+	}
+	return cptgen.LoadScenario(arg)
+}
+
+// openOut opens the sink output (stdout when path is empty), transparently
+// gzip-compressing a ".gz" path.
+func openOut(path string) (io.Writer, func() error, error) {
+	if path == "" {
+		return os.Stdout, func() error { return nil }, nil
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		return nil, nil, err
+	}
+	if strings.HasSuffix(path, ".gz") {
+		gz := gzip.NewWriter(f)
+		return gz, func() error {
+			if err := gz.Close(); err != nil {
+				f.Close()
+				return err
+			}
+			return f.Close()
+		}, nil
+	}
+	return f, f.Close, nil
+}
+
+func printSummary(spec *cptgen.ScenarioSpec, sum cptgen.ScenarioSummary, dur time.Duration) {
+	fmt.Printf("scenario %s: %d events in [%.1fs, %.1fs], generated in %v\n",
+		spec.Name, sum.Events, sum.FirstTime, sum.LastTime, dur.Round(time.Millisecond))
+	fmt.Printf("peak rate %.1f events/s in window starting at %.0fs\n", sum.PeakRate, sum.PeakWindowStart)
+	for t, n := range sum.ByType {
+		if n > 0 {
+			fmt.Printf("  %-12s %d\n", cptgen.EventType(t), n)
+		}
+	}
+}

@@ -28,6 +28,7 @@ import (
 	"cptgpt/internal/metrics"
 	"cptgpt/internal/netshare"
 	"cptgpt/internal/replaynet"
+	"cptgpt/internal/scenario"
 	"cptgpt/internal/smm"
 	"cptgpt/internal/statemachine"
 	"cptgpt/internal/synthetic"
@@ -252,4 +253,74 @@ func ListenMCN(addr string, gen Generation) (*ReplayServer, error) {
 // returns the server's final stats.
 func ReplayOverTCP(addr string, d *Dataset, opts ReplayOpts) (ReplayStatsReport, error) {
 	return replaynet.Replay(addr, d, opts)
+}
+
+// Scenario engine: declarative workload composition over a streaming
+// million-UE pipeline. A ScenarioSpec (plain JSON; built-ins via
+// BuiltinScenario) names traffic sources — synthetic ground truth, trained
+// CPT-GPT models, or any generator bound through ScenarioRunOpts.Sources —
+// and composes operators (population ramps, event amplification, time
+// compression, thinning, clipping) over time windows. OpenScenario executes
+// it as a bounded-memory pipeline: sources emit UE streams in chunks,
+// chunks spill as sorted runs, and a capped-fan-in merge yields a globally
+// time-ordered event iterator whose peak memory is independent of the UE
+// count. Output is bit-identical at every Parallelism × BatchSize.
+type (
+	// ScenarioSpec is a declarative scenario (sources + windowed operators).
+	ScenarioSpec = scenario.Spec
+	// ScenarioSource names one traffic source of a spec.
+	ScenarioSource = scenario.SourceSpec
+	// ScenarioOp is one composable operator over a time window.
+	ScenarioOp = scenario.OpSpec
+	// ScenarioRunOpts tunes scenario execution (population, parallelism,
+	// chunking, spill dir, custom source bindings).
+	ScenarioRunOpts = scenario.RunOpts
+	// ScenarioStream is the merged, time-ordered scenario event iterator.
+	ScenarioStream = scenario.Stream
+	// ScenarioEvent is one element of the merged sequence.
+	ScenarioEvent = scenario.Event
+	// ScenarioSummary aggregates a drained scenario in O(1) memory.
+	ScenarioSummary = scenario.Summary
+	// ScenarioChunkFunc plugs any chunked generator in as a source.
+	ScenarioChunkFunc = scenario.ChunkFunc
+)
+
+// BuiltinScenarios lists the registered scenario presets (flash-crowd,
+// handover-storm, paging-storm, iot-burst, failure-recovery-wave,
+// mix-shift, baseline-diurnal).
+func BuiltinScenarios() []string { return scenario.Builtins() }
+
+// BuiltinScenario returns a fresh copy of a registered scenario preset.
+func BuiltinScenario(name string) (*ScenarioSpec, error) { return scenario.Builtin(name) }
+
+// LoadScenario reads and validates a scenario spec from a JSON file.
+func LoadScenario(path string) (*ScenarioSpec, error) { return scenario.Load(path) }
+
+// OpenScenario executes the scenario's generation phase and returns its
+// streaming event iterator; the caller must Close it.
+func OpenScenario(spec *ScenarioSpec, opts ScenarioRunOpts) (*ScenarioStream, error) {
+	return spec.Open(opts)
+}
+
+// RunScenario executes the scenario end-to-end and drains it, returning
+// the O(1)-memory summary (events, per-type breakdown, peak window rate).
+func RunScenario(spec *ScenarioSpec, opts ScenarioRunOpts) (ScenarioSummary, error) {
+	st, err := spec.Open(opts)
+	if err != nil {
+		return ScenarioSummary{}, err
+	}
+	defer st.Close()
+	return scenario.Drain(st)
+}
+
+// RunScenarioMCN executes the scenario and drives the simulated mobile-core
+// control-plane function with it — the paper's downstream use case at
+// scenario scale.
+func RunScenarioMCN(spec *ScenarioSpec, opts ScenarioRunOpts, cfg MCNConfig) (*MCNReport, error) {
+	st, err := spec.Open(opts)
+	if err != nil {
+		return nil, err
+	}
+	defer st.Close()
+	return scenario.RunMCN(st, cfg)
 }

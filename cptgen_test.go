@@ -166,3 +166,67 @@ func TestFineTuneThroughFacade(t *testing.T) {
 		t.Log("fine-tune left first params identical (possible but unlikely)")
 	}
 }
+
+// TestScenarioFacade drives the scenario engine through the root API: a
+// built-in spec, JSON round trip, the count sink and the MCN sink, plus a
+// custom source binding (an SMM model plugging in as a ChunkFunc).
+func TestScenarioFacade(t *testing.T) {
+	names := BuiltinScenarios()
+	if len(names) < 6 {
+		t.Fatalf("only %d built-in scenarios: %v", len(names), names)
+	}
+	spec, err := BuiltinScenario("flash-crowd")
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(t.TempDir(), "spec.json")
+	if err := spec.Save(path); err != nil {
+		t.Fatal(err)
+	}
+	if spec, err = LoadScenario(path); err != nil {
+		t.Fatal(err)
+	}
+
+	sum, err := RunScenario(spec, ScenarioRunOpts{UEs: 200})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sum.Events == 0 {
+		t.Fatal("scenario emitted nothing")
+	}
+	rep, err := RunScenarioMCN(spec, ScenarioRunOpts{UEs: 200}, DefaultMCNConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Events != sum.Events {
+		t.Fatalf("MCN saw %d events, count sink saw %d", rep.Events, sum.Events)
+	}
+
+	// An SMM model binds into a spec as a custom source.
+	gt, err := GenerateGroundTruth(GroundTruthConfig{
+		Generation: Gen4G, Seed: 2,
+		UEs:   map[DeviceType]int{Phone: 80},
+		Hours: 1, StartHour: 10,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	smmModel, err := FitSMM(gt, DefaultSMMConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	custom := &ScenarioSpec{
+		Name: "smm-driven", Generation: "4G", Seed: 3, HorizonSec: 3600, Population: 50,
+		Sources: []ScenarioSource{{ID: "smm", Kind: "custom", Share: 1}},
+	}
+	genOpts := SMMGenOpts{Device: Phone, Seed: 4, StartWindow: 1800}
+	sum2, err := RunScenario(custom, ScenarioRunOpts{Sources: map[string]ScenarioChunkFunc{
+		"smm": func(lo, hi int) ([]Stream, error) { return smmModel.GenerateRange(lo, hi, genOpts) },
+	}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sum2.Events == 0 {
+		t.Fatal("SMM-driven scenario emitted nothing")
+	}
+}

@@ -167,3 +167,42 @@ func TestBatchDecoderMatchesDecoder(t *testing.T) {
 		}
 	}
 }
+
+// TestGenerateRangeMatchesGenerate pins the chunked-emission contract: any
+// partition of the stream index space concatenates to exactly the streams
+// Generate produces, at any BatchSize.
+func TestGenerateRangeMatchesGenerate(t *testing.T) {
+	d := testTrainingData(t, 60)
+	tk := FitTokenizer(d)
+	m, err := NewModel(smallConfig(), tk)
+	if err != nil {
+		t.Fatal(err)
+	}
+	opts := GenOpts{NumStreams: 19, Device: events.Tablet, Seed: 5, StartWindow: 10}
+	full, err := m.Generate(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, chunk := range []int{1, 4, 19} {
+		for _, batch := range []int{1, 3, 8} {
+			var got []trace.Stream
+			for lo := 0; lo < opts.NumStreams; lo += chunk {
+				hi := lo + chunk
+				if hi > opts.NumStreams {
+					hi = opts.NumStreams
+				}
+				o := opts
+				o.BatchSize = batch
+				part, err := m.GenerateRange(lo, hi, o)
+				if err != nil {
+					t.Fatal(err)
+				}
+				got = append(got, part...)
+			}
+			sameStreams(t, fmt.Sprintf("chunk=%d batch=%d", chunk, batch), full.Streams, got)
+		}
+	}
+	if _, err := m.GenerateRange(3, 1, opts); err == nil {
+		t.Fatal("inverted range must error")
+	}
+}

@@ -123,6 +123,45 @@ func (m *Model) Generate(opts GenOpts) (*trace.Dataset, error) {
 	return &trace.Dataset{Generation: m.Cfg.Generation, Streams: streams}, nil
 }
 
+// GenerateRange synthesizes the UE streams with global indices [lo, hi) of
+// the population Generate would produce for the same opts: the returned
+// slice equals Generate(opts).Streams[lo:hi] bit-for-bit whenever
+// opts.NumStreams ≥ hi (batch_test pins this). Each stream consumes only
+// its own index-seeded RNG, so chunked emission over any partition of the
+// index space reproduces one full run — the streaming scenario engine pulls
+// million-UE populations through this in O(chunk) memory, decoding each
+// chunk in lockstep through a BatchDecoder.
+func (m *Model) GenerateRange(lo, hi int, opts GenOpts) ([]trace.Stream, error) {
+	if lo < 0 || hi < lo {
+		return nil, fmt.Errorf("cptgpt: invalid stream range [%d,%d)", lo, hi)
+	}
+	if opts.Temperature <= 0 {
+		opts.Temperature = 1
+	}
+	n := hi - lo
+	if n == 0 {
+		return nil, nil
+	}
+	batch := opts.BatchSize
+	if batch <= 0 {
+		batch = DefaultBatchSize
+	}
+	if batch > n {
+		batch = n
+	}
+	init, err := stats.NewCategorical(m.InitialDist)
+	if err != nil {
+		return nil, fmt.Errorf("cptgpt: invalid initial-event distribution: %w", err)
+	}
+	streams := make([]trace.Stream, n)
+	dec := m.NewBatchDecoder(batch)
+	for blo := 0; blo < n; blo += batch {
+		bhi := min(blo+batch, n)
+		m.sampleBatch(dec, streams[blo:bhi], lo+blo, opts, init)
+	}
+	return streams, nil
+}
+
 // sampleBatch decodes len(out) UE streams (global indices baseIdx+i) in
 // lockstep through dec. Streams leave the active set as they emit stop
 // flags; the batch finishes when every stream has stopped or hit MaxLen.

@@ -3,15 +3,21 @@
 // It is the downstream application substrate motivating the paper (§2.2):
 // evaluating MCN designs — throughput, latency, autoscaling — requires
 // realistic control-plane workloads, and this simulator is what the
-// examples drive with synthesized traffic.
+// examples and the scenario engine drive with synthesized traffic.
 //
-// The simulation is event-driven in virtual time: all streams' events merge
-// into one time-ordered arrival sequence; a pool of NF instances serves
-// them with per-event-type service costs; an optional autoscaler resizes
-// the pool per window against a target utilization. Per-UE state is tracked
-// with the 3GPP state machine, and semantically invalid events are rejected
-// — which is how a stateful MCN would behave, and why the paper insists
-// only semantically correct traces are usable downstream.
+// The simulation is event-driven in virtual time: a time-ordered arrival
+// sequence — pulled incrementally from an ArrivalSource, so a million-UE
+// scenario never materializes in memory — is served by a pool of NF
+// instances with per-event-type service costs; an optional autoscaler
+// resizes the pool per window against a target utilization. Per-UE state is
+// tracked with the 3GPP state machine, and semantically invalid events are
+// rejected — which is how a stateful MCN would behave, and why the paper
+// insists only semantically correct traces are usable downstream.
+//
+// Latency percentiles are computed from a fixed-size log-spaced histogram
+// (exact mean, percentile values rounded up to a bucket edge ≤ 16%/decade
+// apart), so the simulator's memory footprint is O(per-UE state), never
+// O(events).
 package mcn
 
 import (
@@ -101,7 +107,8 @@ type Report struct {
 	Events   int
 	Rejected int
 	// MeanLatencySec / P95LatencySec / P99LatencySec summarize the
-	// queueing + service latency of accepted events.
+	// queueing + service latency of accepted events. The mean is exact;
+	// the percentiles are upper bucket edges of a log-spaced histogram.
 	MeanLatencySec float64
 	P95LatencySec  float64
 	P99LatencySec  float64
@@ -111,6 +118,8 @@ type Report struct {
 	// CONNECTED top-level state — the per-UE state memory a stateful MCN
 	// must hold (§3.2 C3).
 	PeakConnectedUEs int
+	// UEs is the number of distinct UEs observed.
+	UEs int
 	// FinalInstances is the instance count at the end of the run;
 	// MaxInstancesUsed is the autoscaler's high-water mark.
 	FinalInstances   int
@@ -119,11 +128,88 @@ type Report struct {
 	Windows []WindowStat
 }
 
-// arrival is one merged trace event.
-type arrival struct {
-	t  float64
-	ue int
-	ev events.Type
+// Arrival is one merged control-plane event: a timestamp, the UE it belongs
+// to (any stable 64-bit key) and the event type.
+type Arrival struct {
+	Time float64
+	UE   uint64
+	Type events.Type
+}
+
+// ArrivalSource feeds the simulator a time-ordered arrival sequence, one
+// event per call. It returns ok=false when the sequence is exhausted. The
+// simulator never buffers the sequence, so sources may be arbitrarily long.
+type ArrivalSource interface {
+	NextArrival() (a Arrival, ok bool, err error)
+}
+
+// latencyHist is a log-spaced latency histogram: bucket 0 holds latencies
+// below histMin seconds, then histPerDecade buckets per decade up to
+// histMax, then one overflow bucket. Percentile queries return the upper
+// edge of the bucket holding the requested rank.
+const (
+	histMin       = 1e-5
+	histMax       = 1e4
+	histPerDecade = 16
+)
+
+var histBuckets = 2 + histPerDecade*9 // decades in [1e-5, 1e4)
+
+type latencyHist struct {
+	counts []int
+	n      int
+	sum    float64
+}
+
+func newLatencyHist() *latencyHist {
+	return &latencyHist{counts: make([]int, histBuckets)}
+}
+
+func (h *latencyHist) add(l float64) {
+	h.n++
+	h.sum += l
+	switch {
+	case l < histMin:
+		h.counts[0]++
+	case l >= histMax:
+		h.counts[len(h.counts)-1]++
+	default:
+		idx := 1 + int(math.Floor(math.Log10(l/histMin)*histPerDecade))
+		if idx > len(h.counts)-2 {
+			idx = len(h.counts) - 2
+		}
+		h.counts[idx]++
+	}
+}
+
+func (h *latencyHist) mean() float64 {
+	if h.n == 0 {
+		return 0
+	}
+	return h.sum / float64(h.n)
+}
+
+// quantile returns the upper edge of the bucket containing the q-quantile.
+func (h *latencyHist) quantile(q float64) float64 {
+	if h.n == 0 {
+		return 0
+	}
+	rank := int(q * float64(h.n-1))
+	var cum int
+	for i, c := range h.counts {
+		cum += c
+		if cum > rank {
+			switch i {
+			case 0:
+				return histMin
+			case len(h.counts) - 1:
+				return histMax
+			default:
+				return histMin * math.Pow(10, float64(i)/histPerDecade)
+			}
+		}
+	}
+	return histMax
 }
 
 // serverHeap is a min-heap of per-instance next-free times.
@@ -141,26 +227,59 @@ func (h *serverHeap) Pop() interface{} {
 	return x
 }
 
-// Run simulates the MCN over the dataset and returns the report.
+// ueRec is the per-UE admission state.
+type ueRec struct {
+	state statemachine.State
+	boot  bool
+}
+
+// datasetSource adapts an in-memory Dataset to an ArrivalSource by merging
+// all streams into one time-ordered sequence up front (the compatibility
+// path for callers that already hold the whole dataset).
+type datasetSource struct {
+	arr []Arrival
+	i   int
+}
+
+func newDatasetSource(d *trace.Dataset) *datasetSource {
+	src := &datasetSource{}
+	for ue := range d.Streams {
+		for _, e := range d.Streams[ue].Events {
+			src.arr = append(src.arr, Arrival{Time: e.Time, UE: uint64(ue), Type: e.Type})
+		}
+	}
+	sort.SliceStable(src.arr, func(i, j int) bool { return src.arr[i].Time < src.arr[j].Time })
+	return src
+}
+
+func (s *datasetSource) NextArrival() (Arrival, bool, error) {
+	if s.i >= len(s.arr) {
+		return Arrival{}, false, nil
+	}
+	a := s.arr[s.i]
+	s.i++
+	return a, true, nil
+}
+
+// Run simulates the MCN over the dataset and returns the report. It is
+// RunStream over the dataset's merged arrival sequence.
 func Run(d *trace.Dataset, cfg Config) (*Report, error) {
+	return RunStream(d.Generation, newDatasetSource(d), cfg)
+}
+
+// RunStream simulates the MCN over a time-ordered arrival sequence pulled
+// incrementally from src. Memory is bounded by the per-UE state map and the
+// instance pool — independent of the number of events — which is what lets
+// the scenario engine drive million-UE workloads through it. Arrivals must
+// be non-decreasing in time; a time regression is reported as an error
+// (merged scenario streams guarantee order by construction).
+func RunStream(gen events.Generation, src ArrivalSource, cfg Config) (*Report, error) {
 	if err := cfg.Validate(); err != nil {
 		return nil, err
 	}
-	// Merge arrivals.
-	var arr []arrival
-	for ue := range d.Streams {
-		for _, e := range d.Streams[ue].Events {
-			arr = append(arr, arrival{t: e.Time, ue: ue, ev: e.Type})
-		}
-	}
-	sort.Slice(arr, func(i, j int) bool { return arr[i].t < arr[j].t })
-	if len(arr) == 0 {
-		return &Report{FinalInstances: cfg.BaseInstances}, nil
-	}
 
-	machine := statemachine.New(d.Generation)
-	ueState := make([]statemachine.State, len(d.Streams))
-	ueBoot := make([]bool, len(d.Streams))
+	machine := statemachine.New(gen)
+	ues := make(map[uint64]ueRec)
 
 	servers := make(serverHeap, cfg.BaseInstances)
 	heap.Init(&servers)
@@ -168,11 +287,13 @@ func Run(d *trace.Dataset, cfg Config) (*Report, error) {
 	maxInstances := instances
 
 	rep := &Report{}
-	var latencies []float64
+	hist := newLatencyHist()
 	connected := 0
-	winStart := arr[0].t
+	var winStart float64
 	winArrivals := 0
 	var winBusy float64
+	started := false
+	var lastTime float64
 
 	closeWindow := func(end float64) {
 		dur := end - winStart
@@ -211,30 +332,52 @@ func Run(d *trace.Dataset, cfg Config) (*Report, error) {
 		winBusy = 0
 	}
 
-	for _, a := range arr {
-		for a.t >= winStart+cfg.Window {
+	for {
+		a, ok, err := src.NextArrival()
+		if err != nil {
+			return nil, fmt.Errorf("mcn: arrival source: %w", err)
+		}
+		if !ok {
+			break
+		}
+		if !started {
+			winStart = a.Time
+			started = true
+		} else if a.Time < lastTime {
+			return nil, fmt.Errorf("mcn: arrivals out of order: %v after %v", a.Time, lastTime)
+		}
+		lastTime = a.Time
+		for a.Time >= winStart+cfg.Window {
 			closeWindow(winStart + cfg.Window)
 		}
 		winArrivals++
 		rep.Events++
 
 		// Stateful admission: replay semantics with bootstrap heuristic.
-		prevTop := statemachine.Top(ueState[a.ue])
-		if !ueBoot[a.ue] {
-			if st, ok := machine.Bootstrap(a.ev); ok {
-				ueState[a.ue] = st
-				ueBoot[a.ue] = true
+		rec, seen := ues[a.UE]
+		if !seen {
+			rep.UEs++
+		}
+		prevTop := statemachine.Top(rec.state)
+		if !rec.boot {
+			if st, ok := machine.Bootstrap(a.Type); ok {
+				rec.state = st
+				rec.boot = true
+				ues[a.UE] = rec
+			} else if !seen {
+				ues[a.UE] = rec // remember the UE even pre-bootstrap
 			}
 			// Pre-bootstrap events are admitted without state checks.
 		} else {
-			next, ok := machine.Step(ueState[a.ue], a.ev)
+			next, ok := machine.Step(rec.state, a.Type)
 			if !ok {
 				rep.Rejected++
 				continue
 			}
-			ueState[a.ue] = next
+			rec.state = next
+			ues[a.UE] = rec
 		}
-		if top := statemachine.Top(ueState[a.ue]); top != prevTop {
+		if top := statemachine.Top(rec.state); top != prevTop {
 			switch {
 			case top == statemachine.TopConnected:
 				connected++
@@ -247,29 +390,25 @@ func Run(d *trace.Dataset, cfg Config) (*Report, error) {
 		}
 
 		// Queueing: earliest-free server takes the job.
-		cost := cfg.ServiceCost[a.ev]
+		cost := cfg.ServiceCost[a.Type]
 		if cost == 0 {
 			cost = cfg.DefaultServiceCost
 		}
 		free := heap.Pop(&servers).(float64)
-		start := math.Max(free, a.t)
+		start := math.Max(free, a.Time)
 		finish := start + cost
 		heap.Push(&servers, finish)
-		latencies = append(latencies, finish-a.t)
+		hist.add(finish - a.Time)
 		winBusy += cost
+	}
+	if !started {
+		return &Report{FinalInstances: cfg.BaseInstances}, nil
 	}
 	closeWindow(winStart + cfg.Window)
 
-	if len(latencies) > 0 {
-		sort.Float64s(latencies)
-		var sum float64
-		for _, l := range latencies {
-			sum += l
-		}
-		rep.MeanLatencySec = sum / float64(len(latencies))
-		rep.P95LatencySec = latencies[int(0.95*float64(len(latencies)-1))]
-		rep.P99LatencySec = latencies[int(0.99*float64(len(latencies)-1))]
-	}
+	rep.MeanLatencySec = hist.mean()
+	rep.P95LatencySec = hist.quantile(0.95)
+	rep.P99LatencySec = hist.quantile(0.99)
 	rep.FinalInstances = instances
 	rep.MaxInstancesUsed = maxInstances
 	return rep, nil

@@ -1,6 +1,8 @@
 package mcn
 
 import (
+	"math"
+	"sort"
 	"testing"
 
 	"cptgpt/internal/events"
@@ -153,3 +155,211 @@ func TestMoreInstancesReduceLatency(t *testing.T) {
 		t.Fatalf("8 instances slower than 1: %v vs %v", rep8.P99LatencySec, rep1.P99LatencySec)
 	}
 }
+
+// sliceSource feeds a fixed arrival slice as an ArrivalSource.
+type sliceSource struct {
+	arr []Arrival
+	i   int
+}
+
+func (s *sliceSource) NextArrival() (Arrival, bool, error) {
+	if s.i >= len(s.arr) {
+		return Arrival{}, false, nil
+	}
+	a := s.arr[s.i]
+	s.i++
+	return a, true, nil
+}
+
+// TestRunStreamMatchesRun feeds RunStream an arrival sequence merged
+// independently of datasetSource (time-keyed stable sort built by hand), so
+// a bug in the dataset adapter's merge cannot cancel out.
+func TestRunStreamMatchesRun(t *testing.T) {
+	d := workload(t, 120)
+	want, err := Run(d, DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	var arr []Arrival
+	for ue := range d.Streams {
+		for _, e := range d.Streams[ue].Events {
+			arr = append(arr, Arrival{Time: e.Time, UE: uint64(ue), Type: e.Type})
+		}
+	}
+	sort.SliceStable(arr, func(i, j int) bool { return arr[i].Time < arr[j].Time })
+	got, err := RunStream(d.Generation, src(arr), DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want.Events != got.Events || want.Rejected != got.Rejected ||
+		want.MeanLatencySec != got.MeanLatencySec || want.MaxInstancesUsed != got.MaxInstancesUsed {
+		t.Fatalf("RunStream diverged from Run:\n got %+v\nwant %+v", got, want)
+	}
+}
+
+// Latency accounting reference: widely spaced arrivals on an idle server
+// each cost exactly their service time, so the mean is exact and the
+// histogram percentiles land within one log bucket (≤ 10^(1/16) ≈ 15.5%)
+// above the true value.
+func TestLatencyAccountingExact(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.AutoScale = false
+	var arr []Arrival
+	for i := 0; i < 100; i++ {
+		base := float64(i) * 10
+		arr = append(arr,
+			Arrival{Time: base, UE: uint64(i), Type: events.Attach},
+			Arrival{Time: base + 5, UE: uint64(i), Type: events.S1ConnRel})
+	}
+	sort.SliceStable(arr, func(i, j int) bool { return arr[i].Time < arr[j].Time })
+	rep, err := RunStream(events.Gen4G, src(arr), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantMean := (cfg.ServiceCost[events.Attach] + cfg.ServiceCost[events.S1ConnRel]) / 2
+	if math.Abs(rep.MeanLatencySec-wantMean) > 1e-12 {
+		t.Fatalf("mean latency %v, want exactly %v", rep.MeanLatencySec, wantMean)
+	}
+	// Every latency is one of {0.003, 0.020}; p95/p99 must bracket the
+	// larger cost from above within one bucket.
+	bucket := math.Pow(10, 1.0/16)
+	for _, q := range []float64{rep.P95LatencySec, rep.P99LatencySec} {
+		if q < 0.020 || q > 0.020*bucket {
+			t.Fatalf("quantile %v outside [0.020, %v]", q, 0.020*bucket)
+		}
+	}
+}
+
+func TestRunStreamRejectsOutOfOrder(t *testing.T) {
+	src := &sliceSource{arr: []Arrival{
+		{Time: 10, UE: 0, Type: events.Attach},
+		{Time: 5, UE: 1, Type: events.Attach},
+	}}
+	if _, err := RunStream(events.Gen4G, src, DefaultConfig()); err == nil {
+		t.Fatal("out-of-order arrivals must error")
+	}
+}
+
+// Window-boundary resizing: a hot first window followed by silence must
+// scale the pool up at the boundary and back down across the empty windows,
+// with every resize recorded at a window edge.
+func TestAutoscalerWindowBoundaryResizing(t *testing.T) {
+	var arr []Arrival
+	// 2000 attach/rel pairs in [0, 10): far above one instance's capacity.
+	for i := 0; i < 2000; i++ {
+		tt := float64(i) * 0.005
+		arr = append(arr,
+			Arrival{Time: tt, UE: uint64(i), Type: events.Attach},
+			Arrival{Time: tt + 0.002, UE: uint64(i), Type: events.S1ConnRel})
+	}
+	sort.SliceStable(arr, func(i, j int) bool { return arr[i].Time < arr[j].Time })
+	// One straggler far later forces several idle windows to close.
+	arr = append(arr, Arrival{Time: 100, UE: 999999, Type: events.Attach})
+
+	cfg := DefaultConfig()
+	cfg.BaseInstances = 1
+	cfg.Window = 10
+	rep, err := RunStream(events.Gen4G, src(arr), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.MaxInstancesUsed <= 1 {
+		t.Fatalf("burst did not scale the pool: %+v", rep)
+	}
+	// The pool must have shrunk back to BaseInstances across the idle
+	// windows before the straggler.
+	if rep.FinalInstances != cfg.BaseInstances {
+		t.Fatalf("pool did not shrink during idle windows: final %d", rep.FinalInstances)
+	}
+	// Instance counts only change window-to-window, and window starts are
+	// spaced exactly one Window apart.
+	for i := 1; i < len(rep.Windows); i++ {
+		if got := rep.Windows[i].Start - rep.Windows[i-1].Start; math.Abs(got-cfg.Window) > 1e-9 {
+			t.Fatalf("window %d starts %.3f after its predecessor, want %.1f", i, got, cfg.Window)
+		}
+	}
+}
+
+// TargetUtil near its (0,1) edges: a near-zero set-point means any load
+// overshoots the target and the pool slams to MaxInstances; a near-one
+// set-point tolerates the same load with (almost) no scaling.
+func TestAutoscalerTargetUtilEdges(t *testing.T) {
+	var arr []Arrival
+	for i := 0; i < 500; i++ {
+		tt := float64(i) * 0.05
+		arr = append(arr,
+			Arrival{Time: tt, UE: uint64(i), Type: events.Attach},
+			Arrival{Time: tt + 0.01, UE: uint64(i), Type: events.S1ConnRel})
+	}
+	sort.SliceStable(arr, func(i, j int) bool { return arr[i].Time < arr[j].Time })
+
+	cfg := DefaultConfig()
+	cfg.BaseInstances = 1
+	cfg.Window = 5
+
+	for _, bad := range []float64{0, 1, -0.1, 1.1} {
+		c := cfg
+		c.TargetUtil = bad
+		if err := c.Validate(); err == nil {
+			t.Fatalf("TargetUtil %v must be rejected", bad)
+		}
+	}
+
+	low := cfg
+	low.TargetUtil = 0.001
+	repLow, err := RunStream(events.Gen4G, src(arr), low)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if repLow.MaxInstancesUsed != cfg.MaxInstances {
+		t.Fatalf("TargetUtil≈0 must drive the pool to MaxInstances, got %d", repLow.MaxInstancesUsed)
+	}
+
+	high := cfg
+	high.TargetUtil = 0.999
+	repHigh, err := RunStream(events.Gen4G, src(arr), high)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if repHigh.MaxInstancesUsed >= repLow.MaxInstancesUsed {
+		t.Fatalf("TargetUtil≈1 scaled as hard as ≈0: %d vs %d", repHigh.MaxInstancesUsed, repLow.MaxInstancesUsed)
+	}
+}
+
+// Rejection accounting over a merged, time-ordered multi-UE sequence: UE
+// state must be tracked per UE key, not per position, so interleaving must
+// not change which events are rejected.
+func TestRejectionAccountingMergedInput(t *testing.T) {
+	// UE 1 is valid throughout; UE 2 double-sends SRV_REQ while connected
+	// (1 rejection) and detaches from idle (valid).
+	arr := []Arrival{
+		{Time: 0, UE: 1, Type: events.Attach},
+		{Time: 0.5, UE: 2, Type: events.Attach},
+		{Time: 1, UE: 1, Type: events.S1ConnRel},
+		{Time: 1.5, UE: 2, Type: events.S1ConnRel},
+		{Time: 2, UE: 1, Type: events.ServiceRequest},
+		{Time: 2.5, UE: 2, Type: events.ServiceRequest},
+		{Time: 2.6, UE: 2, Type: events.ServiceRequest}, // invalid: already connected
+		{Time: 3, UE: 1, Type: events.S1ConnRel},
+		{Time: 3.5, UE: 2, Type: events.S1ConnRel},
+		{Time: 4, UE: 2, Type: events.Detach},
+	}
+	rep, err := RunStream(events.Gen4G, src(arr), DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Rejected != 1 {
+		t.Fatalf("rejected %d, want exactly 1", rep.Rejected)
+	}
+	if rep.Events != len(arr) {
+		t.Fatalf("processed %d arrivals, want %d", rep.Events, len(arr))
+	}
+	if rep.UEs != 2 {
+		t.Fatalf("saw %d UEs, want 2", rep.UEs)
+	}
+	if rep.PeakConnectedUEs != 2 {
+		t.Fatalf("peak connected %d, want 2", rep.PeakConnectedUEs)
+	}
+}
+
+func src(arr []Arrival) *sliceSource { return &sliceSource{arr: arr} }

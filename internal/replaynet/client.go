@@ -8,6 +8,7 @@ import (
 	"sort"
 	"time"
 
+	"cptgpt/internal/events"
 	"cptgpt/internal/trace"
 )
 
@@ -20,11 +21,56 @@ type ReplayOpts struct {
 	Deadline time.Duration
 }
 
+// ReplayEvent is one wire-bound control-plane event: a virtual timestamp,
+// the UE it belongs to (any stable 64-bit key) and the event type.
+type ReplayEvent struct {
+	Time float64
+	UE   uint64
+	Type events.Type
+}
+
+// EventSource feeds ReplayStream a time-ordered event sequence, one event
+// per call; ok=false ends the replay. Sources may be arbitrarily long — the
+// client never buffers them.
+type EventSource interface {
+	NextReplayEvent() (ev ReplayEvent, ok bool, err error)
+}
+
 // Replay connects to a replaynet server at addr, paces the dataset's merged
 // event sequence onto the wire and returns the server's final stats. Events
 // across all streams are interleaved in timestamp order, exactly the load a
 // real core would see from the UE population.
 func Replay(addr string, d *trace.Dataset, opts ReplayOpts) (Stats, error) {
+	var all []ReplayEvent
+	for ue := range d.Streams {
+		for _, e := range d.Streams[ue].Events {
+			all = append(all, ReplayEvent{Time: e.Time, UE: uint64(ue), Type: e.Type})
+		}
+	}
+	sort.SliceStable(all, func(i, j int) bool { return all[i].Time < all[j].Time })
+	i := 0
+	next := func() (ReplayEvent, bool, error) {
+		if i >= len(all) {
+			return ReplayEvent{}, false, nil
+		}
+		ev := all[i]
+		i++
+		return ev, true, nil
+	}
+	return ReplayStream(addr, d.Generation, sourceFunc(next), opts)
+}
+
+// sourceFunc adapts a closure to an EventSource.
+type sourceFunc func() (ReplayEvent, bool, error)
+
+func (f sourceFunc) NextReplayEvent() (ReplayEvent, bool, error) { return f() }
+
+// ReplayStream connects to a replaynet server at addr and paces a
+// time-ordered event sequence pulled incrementally from src onto the wire —
+// the streaming counterpart of Replay that the scenario engine uses to
+// drive a server with million-UE workloads in bounded memory. 64-bit UE
+// keys are mapped to the protocol's 32-bit UE indices in first-seen order.
+func ReplayStream(addr string, gen events.Generation, src EventSource, opts ReplayOpts) (Stats, error) {
 	conn, err := net.Dial("tcp", addr)
 	if err != nil {
 		return Stats{}, fmt.Errorf("replaynet: dial %s: %w", addr, err)
@@ -33,40 +79,41 @@ func Replay(addr string, d *trace.Dataset, opts ReplayOpts) (Stats, error) {
 	bw := bufio.NewWriter(conn)
 	br := bufio.NewReader(conn)
 
-	if err := writeFrame(bw, frameHello, []byte{byte(d.Generation)}); err != nil {
+	if err := writeFrame(bw, frameHello, []byte{byte(gen)}); err != nil {
 		return Stats{}, err
 	}
 
-	// Merge events across streams in time order.
-	type item struct {
-		t  float64
-		ue uint32
-		ev byte
-	}
-	var all []item
-	for ue := range d.Streams {
-		for _, e := range d.Streams[ue].Events {
-			all = append(all, item{t: e.Time, ue: uint32(ue), ev: byte(e.Type)})
-		}
-	}
-	sort.Slice(all, func(i, j int) bool { return all[i].t < all[j].t })
-
 	start := time.Now()
+	ueIdx := make(map[uint64]uint32)
 	var t0 float64
-	if len(all) > 0 {
-		t0 = all[0].t
-	}
-	for _, it := range all {
+	first := true
+	for {
+		ev, ok, err := src.NextReplayEvent()
+		if err != nil {
+			return Stats{}, fmt.Errorf("replaynet: event source: %w", err)
+		}
+		if !ok {
+			break
+		}
+		if first {
+			t0 = ev.Time
+			first = false
+		}
 		if opts.Deadline > 0 && time.Since(start) > opts.Deadline {
 			break
 		}
 		if opts.Speedup > 0 {
-			due := time.Duration((it.t - t0) / opts.Speedup * float64(time.Second))
+			due := time.Duration((ev.Time - t0) / opts.Speedup * float64(time.Second))
 			if wait := due - time.Since(start); wait > 0 {
 				time.Sleep(wait)
 			}
 		}
-		if err := writeFrame(bw, frameEvent, eventPayload(it.ue, int64(it.t*1e6), it.ev)); err != nil {
+		idx, seen := ueIdx[ev.UE]
+		if !seen {
+			idx = uint32(len(ueIdx))
+			ueIdx[ev.UE] = idx
+		}
+		if err := writeFrame(bw, frameEvent, eventPayload(idx, int64(ev.Time*1e6), byte(ev.Type))); err != nil {
 			return Stats{}, err
 		}
 	}

@@ -1,0 +1,195 @@
+package scenario
+
+import (
+	"fmt"
+	"sort"
+)
+
+// builtins is the registry of named scenario presets. Each is a plain Spec
+// built on the synthetic ground-truth generator, so every preset runs out
+// of the box (no trained model required); swapping a source's kind to
+// "cptgpt" (or binding a custom generator) upgrades it to model-driven
+// traffic without touching the operators.
+var builtins = map[string]func() *Spec{
+	"baseline-diurnal":      baselineDiurnal,
+	"flash-crowd":           flashCrowd,
+	"handover-storm":        handoverStorm,
+	"paging-storm":          pagingStorm,
+	"iot-burst":             iotBurst,
+	"failure-recovery-wave": failureRecoveryWave,
+	"mix-shift":             mixShift,
+}
+
+// Builtins lists the registered scenario names, sorted.
+func Builtins() []string {
+	names := make([]string, 0, len(builtins))
+	for name := range builtins {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// Builtin returns a fresh copy of a registered scenario spec.
+func Builtin(name string) (*Spec, error) {
+	mk, ok := builtins[name]
+	if !ok {
+		return nil, fmt.Errorf("scenario: unknown built-in %q (have %v)", name, Builtins())
+	}
+	return mk(), nil
+}
+
+// baselineDiurnal is three hours of ordinary carrier traffic: the default
+// device mix under the generator's hour-of-day activity curves, no
+// operators. It is the control every storm scenario is compared against.
+func baselineDiurnal() *Spec {
+	return &Spec{
+		Name:        "baseline-diurnal",
+		Description: "Ordinary carrier workload over three hours; diurnal activity drift, no operators.",
+		Generation:  "4G",
+		Seed:        1,
+		HorizonSec:  3 * 3600,
+		Population:  2000,
+		Sources: []SourceSpec{
+			{ID: "pop", Kind: "synthetic", Share: 1, StartHour: 8},
+		},
+	}
+}
+
+// flashCrowd models a stadium-style flash crowd: a base population plus a
+// crowd that arrives in a 5-minute spike, its early activity compressed
+// and its service requests amplified — the event-rate wall the paper's
+// autoscaling use case must absorb.
+func flashCrowd() *Spec {
+	return &Spec{
+		Name:        "flash-crowd",
+		Description: "Base load plus a crowd arriving in a 5-minute spike with compressed, amplified activity.",
+		Generation:  "4G",
+		Seed:        2,
+		HorizonSec:  3600,
+		Population:  2000,
+		Sources: []SourceSpec{
+			{ID: "base", Kind: "synthetic", Share: 0.6, StartHour: 12},
+			{ID: "crowd", Kind: "synthetic", Share: 0.4, StartHour: 18,
+				DeviceMix: map[string]float64{"phone": 1}},
+		},
+		Ops: []OpSpec{
+			{Op: "ramp", Source: "crowd", Window: [2]float64{1200, 1500}, Shape: "spike"},
+			{Op: "compress", Source: "crowd", Window: [2]float64{1200, 3600}, Factor: 6},
+			{Op: "amplify", Source: "crowd", Window: [2]float64{1200, 1800}, Event: "SRV_REQ", Factor: 2},
+		},
+	}
+}
+
+// handoverStorm models mass synchronized mobility (a train of UEs crossing
+// cells): handovers amplified 8× for 15 minutes over the whole population.
+func handoverStorm() *Spec {
+	return &Spec{
+		Name:        "handover-storm",
+		Description: "Mass mobility: HO events amplified 8x in a 15-minute window.",
+		Generation:  "4G",
+		Seed:        3,
+		HorizonSec:  3600,
+		Population:  2000,
+		Sources: []SourceSpec{
+			{ID: "pop", Kind: "synthetic", Share: 1, StartHour: 17,
+				DeviceMix: map[string]float64{"phone": 0.5, "connected_car": 0.45, "tablet": 0.05}},
+		},
+		Ops: []OpSpec{
+			{Op: "amplify", Source: "pop", Window: [2]float64{900, 1800}, Event: "HO", Factor: 8},
+		},
+	}
+}
+
+// pagingStorm models a paging flood (every idle UE answering pages at
+// once): service requests amplified 6× for 10 minutes.
+func pagingStorm() *Spec {
+	return &Spec{
+		Name:        "paging-storm",
+		Description: "Paging flood: SRV_REQ amplified 6x in a 10-minute window.",
+		Generation:  "4G",
+		Seed:        4,
+		HorizonSec:  3600,
+		Population:  2000,
+		Sources: []SourceSpec{
+			{ID: "pop", Kind: "synthetic", Share: 1, StartHour: 20},
+		},
+		Ops: []OpSpec{
+			{Op: "amplify", Source: "pop", Window: [2]float64{600, 1200}, Event: "SRV_REQ", Factor: 6},
+		},
+	}
+}
+
+// iotBurst models synchronized machine-type reporting: an IoT fleet (cars
+// and tablets standing in for meters/trackers) waking in a 2-minute spike
+// with its reporting compressed into the burst.
+func iotBurst() *Spec {
+	return &Spec{
+		Name:        "iot-burst",
+		Description: "IoT fleet wakes in a 2-minute spike; phone background load continues.",
+		Generation:  "4G",
+		Seed:        5,
+		HorizonSec:  3600,
+		Population:  2000,
+		Sources: []SourceSpec{
+			{ID: "background", Kind: "synthetic", Share: 0.5, StartHour: 3,
+				DeviceMix: map[string]float64{"phone": 1}},
+			{ID: "iot", Kind: "synthetic", Share: 0.5, StartHour: 3,
+				DeviceMix: map[string]float64{"connected_car": 0.7, "tablet": 0.3}},
+		},
+		Ops: []OpSpec{
+			{Op: "ramp", Source: "iot", Window: [2]float64{1800, 1920}, Shape: "spike"},
+			{Op: "compress", Source: "iot", Window: [2]float64{1800, 3600}, Factor: 8},
+		},
+	}
+}
+
+// failureRecoveryWave models an RAN outage and its aftermath: the whole
+// population goes silent for five minutes, then a re-attach wave (UEs
+// re-registering with amplified attaches) slams the core.
+func failureRecoveryWave() *Spec {
+	return &Spec{
+		Name:        "failure-recovery-wave",
+		Description: "5-minute outage (all events dropped) followed by a re-attach wave.",
+		Generation:  "4G",
+		Seed:        6,
+		HorizonSec:  3600,
+		Population:  2000,
+		Sources: []SourceSpec{
+			{ID: "pop", Kind: "synthetic", Share: 0.7, StartHour: 10},
+			{ID: "recovery", Kind: "synthetic", Share: 0.3, StartHour: 10},
+		},
+		Ops: []OpSpec{
+			{Op: "thin", Source: "pop", Window: [2]float64{1500, 1800}, Prob: 1},
+			// The recovery cohort's whole lifecycle (starting with its
+			// attach) is staged into a 60-second wave after the outage.
+			{Op: "ramp", Source: "recovery", Window: [2]float64{1800, 1860}, Shape: "spike"},
+			{Op: "amplify", Source: "recovery", Window: [2]float64{1800, 1980}, Event: "ATCH", Factor: 2},
+		},
+	}
+}
+
+// mixShift models a device-mix drift mid-scenario: a phone-heavy first half
+// hands over to a connected-car-heavy second half (the paper's Design-3
+// drift axis, staged as a scenario).
+func mixShift() *Spec {
+	return &Spec{
+		Name:        "mix-shift",
+		Description: "Phone-heavy first half, connected-car-heavy second half.",
+		Generation:  "4G",
+		Seed:        7,
+		HorizonSec:  3600,
+		Population:  2000,
+		Sources: []SourceSpec{
+			{ID: "early", Kind: "synthetic", Share: 0.5, StartHour: 9,
+				DeviceMix: map[string]float64{"phone": 0.85, "connected_car": 0.1, "tablet": 0.05}},
+			{ID: "late", Kind: "synthetic", Share: 0.5, StartHour: 9,
+				DeviceMix: map[string]float64{"phone": 0.1, "connected_car": 0.8, "tablet": 0.1}},
+		},
+		Ops: []OpSpec{
+			{Op: "clip", Source: "early", Window: [2]float64{0, 1800}},
+			{Op: "ramp", Source: "late", Window: [2]float64{1800, 2400}, Shape: "front"},
+			{Op: "clip", Source: "late", Window: [2]float64{1800, 3600}},
+		},
+	}
+}

@@ -1,0 +1,562 @@
+package scenario
+
+import (
+	"bytes"
+	"fmt"
+	"math"
+	"path/filepath"
+	"reflect"
+	"strings"
+	"testing"
+
+	"cptgpt/internal/events"
+	"cptgpt/internal/mcn"
+	"cptgpt/internal/trace"
+)
+
+func mcnConfigForTest() mcn.Config { return mcn.DefaultConfig() }
+
+// drainAll collects a scenario's full event sequence (test-sized runs only).
+func drainAll(t *testing.T, spec *Spec, opts RunOpts) []Event {
+	t.Helper()
+	st, err := spec.Open(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer st.Close()
+	var out []Event
+	for {
+		e, ok := st.Next()
+		if !ok {
+			break
+		}
+		out = append(out, e)
+	}
+	if err := st.Err(); err != nil {
+		t.Fatal(err)
+	}
+	return out
+}
+
+// rate returns events/s of evs within [lo, hi).
+func rate(evs []Event, lo, hi float64) float64 {
+	var n int
+	for _, e := range evs {
+		if e.Time >= lo && e.Time < hi {
+			n++
+		}
+	}
+	return float64(n) / (hi - lo)
+}
+
+func TestSpecJSONRoundTrip(t *testing.T) {
+	spec, err := Builtin("flash-crowd")
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(t.TempDir(), "spec.json")
+	if err := spec.Save(path); err != nil {
+		t.Fatal(err)
+	}
+	got, err := Load(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got, spec) {
+		t.Fatalf("round trip changed the spec:\n got %+v\nwant %+v", got, spec)
+	}
+}
+
+func TestSpecValidation(t *testing.T) {
+	base := func() *Spec { s, _ := Builtin("flash-crowd"); return s }
+	bad := []struct {
+		name string
+		mut  func(*Spec)
+	}{
+		{"no name", func(s *Spec) { s.Name = "" }},
+		{"bad generation", func(s *Spec) { s.Generation = "6G" }},
+		{"zero horizon", func(s *Spec) { s.HorizonSec = 0 }},
+		{"no sources", func(s *Spec) { s.Sources = nil }},
+		{"dup source id", func(s *Spec) { s.Sources[1].ID = s.Sources[0].ID }},
+		{"unknown kind", func(s *Spec) { s.Sources[0].Kind = "quantum" }},
+		{"bad device mix", func(s *Spec) { s.Sources[0].DeviceMix = map[string]float64{"drone": 1} }},
+		{"zero shares", func(s *Spec) { s.Sources[0].Share = 0; s.Sources[1].Share = 0 }},
+		{"op unknown source", func(s *Spec) { s.Ops[0].Source = "nobody" }},
+		{"op empty window", func(s *Spec) { s.Ops[0].Window = [2]float64{100, 100} }},
+		{"op unknown name", func(s *Spec) { s.Ops[0].Op = "explode" }},
+		{"ramp bad shape", func(s *Spec) { s.Ops[0].Shape = "sideways" }},
+		{"amplify bad event", func(s *Spec) { s.Ops[2].Event = "NOPE" }},
+		{"amplify factor<1", func(s *Spec) { s.Ops[2].Factor = 0.5 }},
+		{"compress factor<=1", func(s *Spec) { s.Ops[1].Factor = 1 }},
+		{"cptgpt no model", func(s *Spec) { s.Sources[0].Kind = "cptgpt"; s.Sources[0].ModelFile = "" }},
+	}
+	for _, tc := range bad {
+		s := base()
+		tc.mut(s)
+		if err := s.Validate(); err == nil {
+			t.Errorf("%s: expected a validation error", tc.name)
+		}
+	}
+	if err := base().Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestBuiltinRegistry(t *testing.T) {
+	names := Builtins()
+	if len(names) < 6 {
+		t.Fatalf("only %d built-ins registered, need ≥ 6: %v", len(names), names)
+	}
+	for _, name := range names {
+		spec, err := Builtin(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if spec.Name != name {
+			t.Fatalf("built-in %q reports name %q", name, spec.Name)
+		}
+		if err := spec.Validate(); err != nil {
+			t.Fatalf("built-in %q invalid: %v", name, err)
+		}
+	}
+	if _, err := Builtin("no-such-scenario"); err == nil {
+		t.Fatal("unknown built-in must error")
+	}
+}
+
+// Every built-in must produce a non-empty, globally time-ordered sequence
+// bounded by the horizon.
+func TestBuiltinsStreamOrdered(t *testing.T) {
+	for _, name := range Builtins() {
+		spec, err := Builtin(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		evs := drainAll(t, spec, RunOpts{UEs: 400})
+		if len(evs) == 0 {
+			t.Fatalf("%s: no events", name)
+		}
+		last := Event{Time: -1}
+		for i, e := range evs {
+			if e.Time < last.Time {
+				t.Fatalf("%s: event %d at %v after %v", name, i, e.Time, last.Time)
+			}
+			if e.Time < 0 || e.Time >= spec.HorizonSec {
+				t.Fatalf("%s: event %d at %v outside horizon %v", name, i, e.Time, spec.HorizonSec)
+			}
+			if !e.Type.Valid() || !e.Device.Valid() {
+				t.Fatalf("%s: event %d has invalid type/device: %+v", name, i, e)
+			}
+			last = e
+		}
+	}
+}
+
+// Scenario signatures: each built-in must exhibit the workload shape it
+// names.
+
+func TestFlashCrowdSignature(t *testing.T) {
+	spec, err := Builtin("flash-crowd")
+	if err != nil {
+		t.Fatal(err)
+	}
+	evs := drainAll(t, spec, RunOpts{UEs: 800})
+	// Baseline over the pre-crowd steady state (skip the initial attach
+	// transient), storm over the crowd window.
+	baseline := rate(evs, 300, 1200)
+	storm := rate(evs, 1200, 1500)
+	if storm < 5*baseline {
+		t.Fatalf("flash-crowd window rate %.2f/s not ≥ 5x baseline %.2f/s", storm, baseline)
+	}
+}
+
+func TestHandoverStormSignature(t *testing.T) {
+	spec, err := Builtin("handover-storm")
+	if err != nil {
+		t.Fatal(err)
+	}
+	evs := drainAll(t, spec, RunOpts{UEs: 800})
+	hoShare := func(lo, hi float64) float64 {
+		var ho, all int
+		for _, e := range evs {
+			if e.Time >= lo && e.Time < hi {
+				all++
+				if e.Type == events.Handover {
+					ho++
+				}
+			}
+		}
+		return float64(ho) / float64(all)
+	}
+	in, out := hoShare(900, 1800), hoShare(2100, 3600)
+	if in < 2*out {
+		t.Fatalf("handover-storm HO share in window %.3f not ≥ 2x outside %.3f", in, out)
+	}
+}
+
+func TestPagingStormSignature(t *testing.T) {
+	spec, err := Builtin("paging-storm")
+	if err != nil {
+		t.Fatal(err)
+	}
+	evs := drainAll(t, spec, RunOpts{UEs: 800})
+	srvRate := func(lo, hi float64) float64 {
+		var n int
+		for _, e := range evs {
+			if e.Time >= lo && e.Time < hi && e.Type == events.ServiceRequest {
+				n++
+			}
+		}
+		return float64(n) / (hi - lo)
+	}
+	in, out := srvRate(600, 1200), srvRate(1800, 3600)
+	if in < 3*out {
+		t.Fatalf("paging-storm SRV_REQ rate in window %.2f/s not ≥ 3x outside %.2f/s", in, out)
+	}
+}
+
+func TestIoTBurstSignature(t *testing.T) {
+	spec, err := Builtin("iot-burst")
+	if err != nil {
+		t.Fatal(err)
+	}
+	evs := drainAll(t, spec, RunOpts{UEs: 800})
+	iotRate := func(lo, hi float64) float64 {
+		var n int
+		for _, e := range evs {
+			if e.Time >= lo && e.Time < hi && e.Device != events.Phone {
+				n++
+			}
+		}
+		return float64(n) / (hi - lo)
+	}
+	burst, before := iotRate(1800, 2100), iotRate(300, 1800)
+	if burst < 5*before {
+		t.Fatalf("iot-burst device rate %.2f/s not ≥ 5x pre-burst %.2f/s", burst, before)
+	}
+}
+
+func TestFailureRecoveryWaveSignature(t *testing.T) {
+	spec, err := Builtin("failure-recovery-wave")
+	if err != nil {
+		t.Fatal(err)
+	}
+	evs := drainAll(t, spec, RunOpts{UEs: 800})
+	pre := rate(evs, 600, 1500)
+	outage := rate(evs, 1500, 1800)
+	wave := rate(evs, 1800, 2100)
+	if outage > 0.02*pre {
+		t.Fatalf("outage window rate %.3f/s not ~0 (pre %.3f/s)", outage, pre)
+	}
+	if wave < 1.5*pre {
+		t.Fatalf("recovery wave rate %.2f/s not ≥ 1.5x pre-outage %.2f/s", wave, pre)
+	}
+	// The wave must lead with attaches (re-registration).
+	var atch, all int
+	for _, e := range evs {
+		if e.Time >= 1800 && e.Time < 1860 {
+			all++
+			if e.Type == events.Attach {
+				atch++
+			}
+		}
+	}
+	if all == 0 || float64(atch)/float64(all) < 0.2 {
+		t.Fatalf("recovery wave is not attach-led: %d/%d", atch, all)
+	}
+}
+
+func TestMixShiftSignature(t *testing.T) {
+	spec, err := Builtin("mix-shift")
+	if err != nil {
+		t.Fatal(err)
+	}
+	evs := drainAll(t, spec, RunOpts{UEs: 800})
+	carShare := func(lo, hi float64) float64 {
+		var car, all int
+		for _, e := range evs {
+			if e.Time >= lo && e.Time < hi {
+				all++
+				if e.Device == events.ConnectedCar {
+					car++
+				}
+			}
+		}
+		if all == 0 {
+			return 0
+		}
+		return float64(car) / float64(all)
+	}
+	first, second := carShare(0, 1800), carShare(1800, 3600)
+	if second < first+0.3 {
+		t.Fatalf("mix-shift car share did not shift: %.3f → %.3f", first, second)
+	}
+}
+
+func TestBaselineDiurnalSignature(t *testing.T) {
+	spec, err := Builtin("baseline-diurnal")
+	if err != nil {
+		t.Fatal(err)
+	}
+	evs := drainAll(t, spec, RunOpts{UEs: 400})
+	// Hours must differ in activity (the diurnal curve), without any
+	// storm-scale spike: a drifting baseline.
+	h1 := rate(evs, 3600, 7200)
+	h2 := rate(evs, 7200, 10800)
+	if h1 == 0 || h2 == 0 {
+		t.Fatal("baseline hours empty")
+	}
+	ratio := h1 / h2
+	if ratio < 1.02 && ratio > 0.98 {
+		t.Fatalf("no diurnal drift between hours: %.2f vs %.2f events/s", h1, h2)
+	}
+	if ratio > 3 || ratio < 1.0/3 {
+		t.Fatalf("baseline drifted like a storm: %.2f vs %.2f events/s", h1, h2)
+	}
+}
+
+// The engine's determinism guarantee: identical output at every
+// Parallelism × BatchSize, including when the hierarchical merge path
+// (MaxFanIn ≪ runs) kicks in.
+func TestDeterministicAcrossParallelismAndBatch(t *testing.T) {
+	spec, err := Builtin("flash-crowd")
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := drainAll(t, spec, RunOpts{UEs: 300, Parallelism: 1, BatchSize: 300})
+	for _, par := range []int{1, 4} {
+		for _, batch := range []int{13, 64, 300} {
+			for _, fanIn := range []int{0, 2} {
+				got := drainAll(t, spec, RunOpts{UEs: 300, Parallelism: par, BatchSize: batch, MaxFanIn: fanIn})
+				if !reflect.DeepEqual(got, want) {
+					t.Fatalf("parallelism=%d batch=%d fanIn=%d diverged (%d vs %d events)",
+						par, batch, fanIn, len(got), len(want))
+				}
+			}
+		}
+	}
+}
+
+// A custom ChunkFunc binds an arbitrary generator into a spec.
+func TestCustomSourceBinding(t *testing.T) {
+	spec := &Spec{
+		Name: "custom-test", Generation: "4G", Seed: 1, HorizonSec: 100, Population: 10,
+		Sources: []SourceSpec{{ID: "mine", Kind: "custom", Share: 1}},
+	}
+	if _, err := spec.Open(RunOpts{}); err == nil {
+		t.Fatal("custom kind without a binding must error")
+	}
+	chunk := func(lo, hi int) ([]trace.Stream, error) {
+		out := make([]trace.Stream, hi-lo)
+		for i := range out {
+			out[i] = trace.Stream{
+				UEID: fmt.Sprintf("c-%d", lo+i), Device: events.Tablet,
+				Events: []trace.Event{{Time: float64(lo+i) + 0.5, Type: events.Attach}},
+			}
+		}
+		return out, nil
+	}
+	st, err := spec.Open(RunOpts{Sources: map[string]ChunkFunc{"mine": chunk}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer st.Close()
+	var n int
+	for {
+		e, ok := st.Next()
+		if !ok {
+			break
+		}
+		if want := fmt.Sprintf("mine-%07d", n); st.UEID(e) != want {
+			t.Fatalf("UEID %q, want %q", st.UEID(e), want)
+		}
+		if e.Device != events.Tablet || e.Type != events.Attach {
+			t.Fatalf("unexpected event %+v", e)
+		}
+		n++
+	}
+	if n != 10 {
+		t.Fatalf("drained %d events, want 10", n)
+	}
+}
+
+// Operator unit semantics over a hand-built stream.
+func TestOperatorSemantics(t *testing.T) {
+	mk := func() *trace.Stream {
+		return &trace.Stream{UEID: "u", Device: events.Phone, Events: []trace.Event{
+			{Time: 10, Type: events.Attach},
+			{Time: 100, Type: events.ServiceRequest},
+			{Time: 150, Type: events.Handover},
+			{Time: 200, Type: events.S1ConnRel},
+			{Time: 400, Type: events.ServiceRequest},
+		}}
+	}
+	apply := func(op OpSpec, s *trace.Stream) []trace.Event {
+		c := compiledOp{spec: op, seed: 42}
+		if op.Op == "amplify" {
+			ev, err := events.ParseType(op.Event)
+			if err != nil {
+				t.Fatal(err)
+			}
+			c.ev = ev
+		}
+		return applyOps([]compiledOp{c}, s, 7, 1000, nil)
+	}
+
+	// clip keeps only the window.
+	s := mk()
+	got := apply(OpSpec{Op: "clip", Window: [2]float64{100, 201}}, s)
+	if len(got) != 3 || got[0].Time != 100 || got[2].Time != 200 {
+		t.Fatalf("clip wrong: %+v", got)
+	}
+
+	// thin with prob 1 empties the window, keeps the rest.
+	s = mk()
+	got = apply(OpSpec{Op: "thin", Window: [2]float64{100, 201}, Prob: 1}, s)
+	if len(got) != 2 || got[0].Time != 10 || got[1].Time != 400 {
+		t.Fatalf("thin wrong: %+v", got)
+	}
+
+	// compress squeezes the window and pulls the tail forward.
+	s = mk()
+	got = apply(OpSpec{Op: "compress", Window: [2]float64{100, 300}, Factor: 2}, s)
+	want := []float64{10, 100, 125, 150, 300}
+	for i, w := range want {
+		if math.Abs(got[i].Time-w) > 1e-9 {
+			t.Fatalf("compress event %d at %v, want %v (%+v)", i, got[i].Time, w, got)
+		}
+	}
+
+	// amplify with an integer factor multiplies matching events exactly.
+	s = mk()
+	got = apply(OpSpec{Op: "amplify", Window: [2]float64{0, 1000}, Event: "SRV_REQ", Factor: 3}, s)
+	var srv int
+	for _, e := range got {
+		if e.Type == events.ServiceRequest {
+			srv++
+		}
+	}
+	if srv != 6 {
+		t.Fatalf("amplify x3 produced %d SRV_REQ, want 6", srv)
+	}
+	if len(got) != 9 {
+		t.Fatalf("amplify changed non-target events: %d total, want 9", len(got))
+	}
+
+	// ramp(uniform) moves the first event into the window, preserving
+	// relative offsets.
+	s = mk()
+	got = apply(OpSpec{Op: "ramp", Window: [2]float64{500, 600}, Shape: "uniform"}, s)
+	if got[0].Time < 500 || got[0].Time >= 600 {
+		t.Fatalf("ramp start %v outside window", got[0].Time)
+	}
+	if d := (got[1].Time - got[0].Time) - 90; math.Abs(d) > 1e-9 {
+		t.Fatalf("ramp broke relative offsets by %v", d)
+	}
+}
+
+// Sinks: JSONL and CSV event writers emit one line per event.
+func TestEventWriterSinks(t *testing.T) {
+	spec, err := Builtin("flash-crowd")
+	if err != nil {
+		t.Fatal(err)
+	}
+	st, err := spec.Open(RunOpts{UEs: 60})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var jb bytes.Buffer
+	nj, err := WriteJSONL(&jb, st)
+	st.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if nj == 0 || strings.Count(jb.String(), "\n") != nj {
+		t.Fatalf("JSONL sink wrote %d events, %d lines", nj, strings.Count(jb.String(), "\n"))
+	}
+
+	st, err = spec.Open(RunOpts{UEs: 60})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var cb bytes.Buffer
+	nc, err := WriteCSV(&cb, st)
+	st.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if nc != nj {
+		t.Fatalf("CSV sink wrote %d events, JSONL wrote %d", nc, nj)
+	}
+	if !strings.HasPrefix(cb.String(), "ue_id,device_type,timestamp,event_type\n") {
+		t.Fatal("CSV sink missing header")
+	}
+}
+
+// The MCN sink consumes the stream and accounts for every event.
+func TestMCNSinkConsumesScenario(t *testing.T) {
+	spec, err := Builtin("flash-crowd")
+	if err != nil {
+		t.Fatal(err)
+	}
+	st, err := spec.Open(RunOpts{UEs: 200})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sum, err := Drain(st)
+	st.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	st, err = spec.Open(RunOpts{UEs: 200})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer st.Close()
+	rep, err := RunMCN(st, mcnConfigForTest())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Events != sum.Events {
+		t.Fatalf("MCN processed %d events, scenario emitted %d", rep.Events, sum.Events)
+	}
+	if rep.UEs == 0 || rep.MaxInstancesUsed < rep.FinalInstances {
+		t.Fatalf("implausible MCN report: %+v", rep)
+	}
+	// The synthetic sources are semantically valid; only operator-injected
+	// duplicates (amplified SRV_REQ) may be rejected.
+	if frac := float64(rep.Rejected) / float64(rep.Events); frac > 0.2 {
+		t.Fatalf("rejection fraction %.3f implausibly high", frac)
+	}
+}
+
+func TestDrainSummary(t *testing.T) {
+	spec, err := Builtin("flash-crowd")
+	if err != nil {
+		t.Fatal(err)
+	}
+	st, err := spec.Open(RunOpts{UEs: 200})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer st.Close()
+	sum, err := Drain(st)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sum.Events == 0 || sum.LastTime < sum.FirstTime || sum.LastTime >= spec.HorizonSec {
+		t.Fatalf("implausible summary: %+v", sum)
+	}
+	var byType int
+	for _, n := range sum.ByType {
+		byType += n
+	}
+	if byType != sum.Events {
+		t.Fatalf("ByType sums to %d, want %d", byType, sum.Events)
+	}
+	// The crowd spike must dominate the peak-rate window.
+	if sum.PeakWindowStart < 1100 || sum.PeakWindowStart > 1600 {
+		t.Fatalf("peak window at %v, want inside the crowd spike", sum.PeakWindowStart)
+	}
+}

@@ -1,0 +1,173 @@
+package scenario
+
+import (
+	"bufio"
+	"encoding/csv"
+	"encoding/json"
+	"fmt"
+	"io"
+	"strconv"
+
+	"cptgpt/internal/events"
+	"cptgpt/internal/mcn"
+	"cptgpt/internal/replaynet"
+)
+
+// Summary aggregates a drained scenario stream in O(1) memory.
+type Summary struct {
+	// Events is the total emitted event count; ByType breaks it down.
+	Events int
+	ByType [events.NumTypes]int
+	// FirstTime/LastTime bound the emitted timestamps.
+	FirstTime float64
+	LastTime  float64
+	// PeakRate is the highest event rate (events/s) over any aligned
+	// 60-second window; PeakWindowStart is that window's start.
+	PeakRate        float64
+	PeakWindowStart float64
+}
+
+// summaryWindow is the rate-metering window width for Summary.PeakRate.
+const summaryWindow = 60.0
+
+// Drain consumes the stream to exhaustion, returning its summary — the
+// "count" sink. It is also the cheapest way to force a full scenario run.
+func Drain(st *Stream) (Summary, error) {
+	var sum Summary
+	var winStart float64
+	winCount := 0
+	first := true
+	flush := func() {
+		if rate := float64(winCount) / summaryWindow; rate > sum.PeakRate {
+			sum.PeakRate = rate
+			sum.PeakWindowStart = winStart
+		}
+	}
+	for {
+		e, ok := st.Next()
+		if !ok {
+			break
+		}
+		if first {
+			sum.FirstTime = e.Time
+			winStart = float64(int(e.Time/summaryWindow)) * summaryWindow
+			first = false
+		}
+		for e.Time >= winStart+summaryWindow {
+			flush()
+			winStart += summaryWindow
+			winCount = 0
+		}
+		winCount++
+		sum.Events++
+		if e.Type.Valid() {
+			sum.ByType[e.Type]++
+		}
+		sum.LastTime = e.Time
+	}
+	if !first {
+		flush()
+	}
+	return sum, st.Err()
+}
+
+// eventLine is the JSONL encoding of one scenario event.
+type eventLine struct {
+	Time   float64 `json:"t"`
+	UEID   string  `json:"ue_id"`
+	Device string  `json:"device_type"`
+	Type   string  `json:"event_type"`
+}
+
+// WriteJSONL drains the stream to w as one JSON object per event (the
+// event-interleaved counterpart of the per-stream trace format: scenario
+// output arrives in time order across UEs, so per-UE grouping would require
+// unbounded buffering). Returns the event count.
+func WriteJSONL(w io.Writer, st *Stream) (int, error) {
+	bw := bufio.NewWriter(w)
+	enc := json.NewEncoder(bw)
+	n := 0
+	for {
+		e, ok := st.Next()
+		if !ok {
+			break
+		}
+		if err := enc.Encode(eventLine{
+			Time: e.Time, UEID: st.UEID(e),
+			Device: e.Device.String(), Type: e.Type.String(),
+		}); err != nil {
+			return n, fmt.Errorf("scenario: writing event %d: %w", n, err)
+		}
+		n++
+	}
+	if err := st.Err(); err != nil {
+		return n, err
+	}
+	return n, bw.Flush()
+}
+
+// WriteCSV drains the stream to w as CSV rows with the trace interchange
+// columns (ue_id,device_type,timestamp,event_type), one event per row in
+// time order. Returns the event count.
+func WriteCSV(w io.Writer, st *Stream) (int, error) {
+	cw := csv.NewWriter(w)
+	if err := cw.Write([]string{"ue_id", "device_type", "timestamp", "event_type"}); err != nil {
+		return 0, fmt.Errorf("scenario: writing CSV header: %w", err)
+	}
+	row := make([]string, 4)
+	n := 0
+	for {
+		e, ok := st.Next()
+		if !ok {
+			break
+		}
+		row[0] = st.UEID(e)
+		row[1] = e.Device.String()
+		row[2] = strconv.FormatFloat(e.Time, 'f', -1, 64)
+		row[3] = e.Type.String()
+		if err := cw.Write(row); err != nil {
+			return n, fmt.Errorf("scenario: writing CSV row %d: %w", n, err)
+		}
+		n++
+	}
+	if err := st.Err(); err != nil {
+		return n, err
+	}
+	cw.Flush()
+	return n, cw.Error()
+}
+
+// mcnAdapter presents a Stream as an mcn.ArrivalSource.
+type mcnAdapter struct{ st *Stream }
+
+func (a mcnAdapter) NextArrival() (mcn.Arrival, bool, error) {
+	e, ok := a.st.Next()
+	if !ok {
+		return mcn.Arrival{}, false, a.st.Err()
+	}
+	return mcn.Arrival{Time: e.Time, UE: e.UE, Type: e.Type}, true, nil
+}
+
+// RunMCN drains the stream through the simulated mobile-core control-plane
+// function — the scenario engine's flagship sink. Memory stays bounded by
+// the MCN's per-UE state, never by the event count.
+func RunMCN(st *Stream, cfg mcn.Config) (*mcn.Report, error) {
+	return mcn.RunStream(st.Generation(), mcnAdapter{st}, cfg)
+}
+
+// replayAdapter presents a Stream as a replaynet.EventSource.
+type replayAdapter struct{ st *Stream }
+
+func (a replayAdapter) NextReplayEvent() (replaynet.ReplayEvent, bool, error) {
+	e, ok := a.st.Next()
+	if !ok {
+		return replaynet.ReplayEvent{}, false, a.st.Err()
+	}
+	return replaynet.ReplayEvent{Time: e.Time, UE: e.UE, Type: e.Type}, true, nil
+}
+
+// ReplayTCP drains the stream onto a replaynet server — the networked MCN
+// load-test sink.
+func ReplayTCP(addr string, st *Stream, opts replaynet.ReplayOpts) (replaynet.Stats, error) {
+	return replaynet.ReplayStream(addr, st.Generation(), replayAdapter{st}, opts)
+}

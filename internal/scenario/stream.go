@@ -1,0 +1,566 @@
+package scenario
+
+import (
+	"bufio"
+	"container/heap"
+	"encoding/binary"
+	"fmt"
+	"io"
+	"math"
+	"os"
+	"path/filepath"
+	"sort"
+	"sync"
+
+	"cptgpt/internal/cptgpt"
+	"cptgpt/internal/events"
+	"cptgpt/internal/tensor"
+	"cptgpt/internal/trace"
+)
+
+// Event is one element of a scenario's merged, time-ordered event sequence:
+// a timestamp, a compact UE key, the UE's device type and the event type.
+// Seq is the event's index within its UE stream; (Time, UE, Seq) is the
+// total order the merge emits, which is what makes scenario output
+// bit-identical at every parallelism and chunking.
+type Event struct {
+	Time   float64
+	UE     uint64
+	Seq    uint32
+	Device events.DeviceType
+	Type   events.Type
+}
+
+// ueKeyBits is how many low bits of a UE key hold the per-source stream
+// index; the source index lives above them.
+const ueKeyBits = 40
+
+// ueKey packs (source index, stream index) into one 64-bit UE key.
+func ueKey(src int, idx int) uint64 {
+	return uint64(src)<<ueKeyBits | uint64(idx)
+}
+
+// less orders events by the merge's total order (Time, UE, Seq).
+func (e Event) less(o Event) bool {
+	if e.Time != o.Time {
+		return e.Time < o.Time
+	}
+	if e.UE != o.UE {
+		return e.UE < o.UE
+	}
+	return e.Seq < o.Seq
+}
+
+// RunOpts tunes scenario execution. The zero value is usable.
+type RunOpts struct {
+	// UEs overrides the spec's population (0 keeps Spec.Population; if
+	// that is also 0, DefaultPopulation applies).
+	UEs int
+	// Parallelism bounds the worker count generating and spilling chunks;
+	// 0 means the tensor-layer default. Output is identical at every
+	// setting.
+	Parallelism int
+	// BatchSize is the number of UE streams generated, transformed and
+	// spilled per chunk — the unit the pipeline's peak memory scales with;
+	// 0 means DefaultChunkStreams. CPT-GPT sources decode each chunk in
+	// lockstep sub-batches of min(BatchSize, cptgpt.DefaultBatchSize).
+	// Output is identical at every setting.
+	BatchSize int
+	// TempDir hosts the spill run files ("" = the system temp dir). Every
+	// run file is deleted by Stream.Close.
+	TempDir string
+	// MaxFanIn bounds the k-way merge width (and thus open files and
+	// buffer memory); runs beyond it are merged hierarchically. 0 means
+	// DefaultMaxFanIn.
+	MaxFanIn int
+	// Sources binds custom generators to spec source IDs (required for
+	// kind "custom", optional override for any other kind).
+	Sources map[string]ChunkFunc
+}
+
+// DefaultPopulation is the UE count used when neither the spec nor the run
+// options give one.
+const DefaultPopulation = 1000
+
+// DefaultChunkStreams is the default RunOpts.BatchSize.
+const DefaultChunkStreams = 1024
+
+// DefaultMaxFanIn is the default merge fan-in bound.
+const DefaultMaxFanIn = 64
+
+func (o RunOpts) chunkStreams() int {
+	if o.BatchSize > 0 {
+		return o.BatchSize
+	}
+	return DefaultChunkStreams
+}
+
+// decodeBatch bounds the CPT-GPT lockstep decode batch: the chunk size,
+// capped at the decoder default so a large spill chunk does not inflate the
+// shared KV cache.
+func (o RunOpts) decodeBatch() int {
+	return min(o.chunkStreams(), cptgpt.DefaultBatchSize)
+}
+
+func (o RunOpts) fanIn() int {
+	if o.MaxFanIn > 1 {
+		return o.MaxFanIn
+	}
+	return DefaultMaxFanIn
+}
+
+func (o RunOpts) workers() int {
+	if o.Parallelism > 0 {
+		return o.Parallelism
+	}
+	return tensor.Parallelism()
+}
+
+// recordSize is the on-disk size of one spilled event: time(8) ue(8)
+// seq(4) type(1) device(1), little-endian.
+const recordSize = 22
+
+func encodeRecord(buf []byte, e Event) {
+	binary.LittleEndian.PutUint64(buf[0:8], math.Float64bits(e.Time))
+	binary.LittleEndian.PutUint64(buf[8:16], e.UE)
+	binary.LittleEndian.PutUint32(buf[16:20], e.Seq)
+	buf[20] = byte(e.Type)
+	buf[21] = byte(e.Device)
+}
+
+func decodeRecord(buf []byte) Event {
+	return Event{
+		Time:   math.Float64frombits(binary.LittleEndian.Uint64(buf[0:8])),
+		UE:     binary.LittleEndian.Uint64(buf[8:16]),
+		Seq:    binary.LittleEndian.Uint32(buf[16:20]),
+		Type:   events.Type(buf[20]),
+		Device: events.DeviceType(buf[21]),
+	}
+}
+
+// writeRun spills a sorted event slice to path.
+func writeRun(path string, evs []Event) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return fmt.Errorf("scenario: creating run %s: %w", path, err)
+	}
+	bw := bufio.NewWriterSize(f, 1<<16)
+	var rec [recordSize]byte
+	for _, e := range evs {
+		encodeRecord(rec[:], e)
+		if _, err := bw.Write(rec[:]); err != nil {
+			f.Close()
+			return fmt.Errorf("scenario: writing run %s: %w", path, err)
+		}
+	}
+	if err := bw.Flush(); err != nil {
+		f.Close()
+		return fmt.Errorf("scenario: flushing run %s: %w", path, err)
+	}
+	return f.Close()
+}
+
+// runReader reads one spilled run sequentially.
+type runReader struct {
+	f   *os.File
+	br  *bufio.Reader
+	cur Event
+}
+
+func openRun(path string) (*runReader, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, fmt.Errorf("scenario: opening run %s: %w", path, err)
+	}
+	return &runReader{f: f, br: bufio.NewReaderSize(f, 1<<16)}, nil
+}
+
+// next loads the run's next event into cur; ok=false at EOF.
+func (r *runReader) next() (ok bool, err error) {
+	var rec [recordSize]byte
+	if _, err := io.ReadFull(r.br, rec[:]); err != nil {
+		if err == io.EOF {
+			return false, nil
+		}
+		return false, fmt.Errorf("scenario: reading run: %w", err)
+	}
+	r.cur = decodeRecord(rec[:])
+	return true, nil
+}
+
+func (r *runReader) close() error { return r.f.Close() }
+
+// mergeHeap is a min-heap of run readers keyed by their current event.
+type mergeHeap []*runReader
+
+func (h mergeHeap) Len() int            { return len(h) }
+func (h mergeHeap) Less(i, j int) bool  { return h[i].cur.less(h[j].cur) }
+func (h mergeHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
+func (h *mergeHeap) Push(x interface{}) { *h = append(*h, x.(*runReader)) }
+func (h *mergeHeap) Pop() interface{} {
+	old := *h
+	n := len(old)
+	x := old[n-1]
+	*h = old[:n-1]
+	return x
+}
+
+// Stream is a scenario's merged event iterator: a bounded-memory, globally
+// time-ordered sequence of control-plane events pulled incrementally by a
+// sink. Close releases the spill directory.
+type Stream struct {
+	gen    events.Generation
+	srcIDs []string
+	total  int // UEs across sources
+	h      mergeHeap
+	dir    string
+	err    error
+	closed bool
+}
+
+// Generation returns the scenario's technology generation.
+func (st *Stream) Generation() events.Generation { return st.gen }
+
+// UEs returns the total UE population backing the stream.
+func (st *Stream) UEs() int { return st.total }
+
+// UEID renders an event's UE key as a readable identifier,
+// "<source-id>-<stream-index>".
+func (st *Stream) UEID(e Event) string {
+	src := int(e.UE >> ueKeyBits)
+	idx := e.UE & (1<<ueKeyBits - 1)
+	if src < len(st.srcIDs) {
+		return fmt.Sprintf("%s-%07d", st.srcIDs[src], idx)
+	}
+	return fmt.Sprintf("ue-%d", e.UE)
+}
+
+// Next returns the next event in global time order; ok=false ends the
+// stream (check Err, then Close).
+func (st *Stream) Next() (e Event, ok bool) {
+	if st.err != nil || len(st.h) == 0 {
+		return Event{}, false
+	}
+	r := st.h[0]
+	e = r.cur
+	more, err := r.next()
+	switch {
+	case err != nil:
+		st.err = err
+		return Event{}, false
+	case more:
+		heap.Fix(&st.h, 0)
+	default:
+		heap.Pop(&st.h)
+		if cerr := r.close(); cerr != nil && st.err == nil {
+			st.err = cerr
+		}
+	}
+	return e, true
+}
+
+// Err reports the first error the pipeline hit (nil on clean exhaustion).
+func (st *Stream) Err() error { return st.err }
+
+// Close releases every open run and deletes the spill directory. It is
+// safe to call after partial consumption and more than once.
+func (st *Stream) Close() error {
+	if st.closed {
+		return nil
+	}
+	st.closed = true
+	for _, r := range st.h {
+		r.close()
+	}
+	st.h = nil
+	if st.dir != "" {
+		if err := os.RemoveAll(st.dir); err != nil {
+			return fmt.Errorf("scenario: removing spill dir: %w", err)
+		}
+	}
+	return nil
+}
+
+// chunkJob is one unit of the generation phase: streams [lo, hi) of one
+// source, spilled to run file out.
+type chunkJob struct {
+	src    int
+	lo, hi int
+	out    string
+}
+
+// Open executes the scenario's generation phase and returns its merged
+// event stream. The pipeline:
+//
+//  1. every source's UE index space is cut into chunks of
+//     RunOpts.BatchSize streams;
+//  2. RunOpts.Parallelism workers generate chunks (model sources decode in
+//     lockstep through a BatchDecoder), rewrite each stream through the
+//     source's operator chain, assign the per-UE event sequence numbers,
+//     sort the chunk and spill it as a sorted binary run;
+//  3. runs are merged hierarchically down to RunOpts.MaxFanIn, and the
+//     returned Stream k-way-merges the survivors lazily.
+//
+// Peak memory is O(Parallelism × BatchSize × stream length) for phase 2
+// plus O(MaxFanIn) buffers for phase 3 — independent of the UE count. The
+// emitted sequence is bit-identical at every Parallelism × BatchSize
+// because chunk boundaries only move events between runs, never change the
+// (Time, UE, Seq) total order the merge restores.
+func (spec *Spec) Open(opts RunOpts) (st *Stream, err error) {
+	if err := spec.Validate(); err != nil {
+		return nil, err
+	}
+	gen, err := spec.gen()
+	if err != nil {
+		return nil, err
+	}
+	total := opts.UEs
+	if total <= 0 {
+		total = spec.Population
+	}
+	if total <= 0 {
+		total = DefaultPopulation
+	}
+	sources, err := resolveSources(spec, opts, total)
+	if err != nil {
+		return nil, err
+	}
+
+	dir, err := os.MkdirTemp(opts.TempDir, "cptscenario-")
+	if err != nil {
+		return nil, fmt.Errorf("scenario: creating spill dir: %w", err)
+	}
+	defer func() {
+		if err != nil {
+			os.RemoveAll(dir)
+		}
+	}()
+
+	// Phase 1: cut sources into chunk jobs.
+	chunk := opts.chunkStreams()
+	var jobs []chunkJob
+	for si := range sources {
+		for lo := 0; lo < sources[si].n; lo += chunk {
+			hi := lo + chunk
+			if hi > sources[si].n {
+				hi = sources[si].n
+			}
+			jobs = append(jobs, chunkJob{
+				src: si, lo: lo, hi: hi,
+				out: filepath.Join(dir, fmt.Sprintf("run-%04d-%07d.bin", si, lo)),
+			})
+		}
+	}
+
+	// Phase 2: generate, transform, sort, spill — fanned over workers.
+	runs, err := spillChunks(spec, sources, jobs, opts)
+	if err != nil {
+		return nil, err
+	}
+
+	// Phase 3: bound the merge fan-in.
+	if runs, err = reduceRuns(runs, opts.fanIn(), dir); err != nil {
+		return nil, err
+	}
+
+	st = &Stream{gen: gen, dir: dir, total: total}
+	for i := range sources {
+		st.srcIDs = append(st.srcIDs, sources[i].id)
+	}
+	if st.h, err = openRunHeap(runs); err != nil {
+		st.Close()
+		return nil, err
+	}
+	return st, nil
+}
+
+// openRunHeap opens every run, primes each reader with its first event
+// (dropping empty runs) and returns an initialized merge heap. On error
+// every run opened so far is closed.
+func openRunHeap(paths []string) (mergeHeap, error) {
+	var h mergeHeap
+	fail := func(r *runReader, err error) (mergeHeap, error) {
+		if r != nil {
+			r.close()
+		}
+		for _, o := range h {
+			o.close()
+		}
+		return nil, err
+	}
+	for _, path := range paths {
+		r, err := openRun(path)
+		if err != nil {
+			return fail(nil, err)
+		}
+		ok, err := r.next()
+		if err != nil {
+			return fail(r, err)
+		}
+		if !ok {
+			r.close()
+			continue
+		}
+		h = append(h, r)
+	}
+	heap.Init(&h)
+	return h, nil
+}
+
+// spillChunks runs the generation phase and returns the produced run paths
+// in deterministic job order (empty chunks are skipped).
+func spillChunks(spec *Spec, sources []boundSource, jobs []chunkJob, opts RunOpts) ([]string, error) {
+	horizon := spec.HorizonSec
+	workers := opts.workers()
+	if workers > len(jobs) {
+		workers = len(jobs)
+	}
+	if workers < 1 {
+		workers = 1
+	}
+	nonEmpty := make([]bool, len(jobs))
+	errs := make([]error, workers)
+	jobCh := make(chan int)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			var evs []Event
+			var scratch []trace.Event
+			for ji := range jobCh {
+				if errs[w] != nil {
+					continue // drain after failure
+				}
+				job := jobs[ji]
+				src := &sources[job.src]
+				streams, err := src.chunk(job.lo, job.hi)
+				if err != nil {
+					errs[w] = fmt.Errorf("scenario: source %q chunk [%d,%d): %w", src.id, job.lo, job.hi, err)
+					continue
+				}
+				if len(streams) != job.hi-job.lo {
+					// A mis-sized chunk would silently corrupt UE keys
+					// (stream i's key is job.lo+i).
+					errs[w] = fmt.Errorf("scenario: source %q chunk [%d,%d) returned %d streams, want %d",
+						src.id, job.lo, job.hi, len(streams), job.hi-job.lo)
+					continue
+				}
+				evs = evs[:0]
+				for i := range streams {
+					s := &streams[i]
+					ue := ueKey(job.src, job.lo+i)
+					scratch = applyOps(src.ops, s, ue, horizon, scratch)
+					for seq, e := range s.Events {
+						evs = append(evs, Event{
+							Time: e.Time, UE: ue, Seq: uint32(seq),
+							Device: s.Device, Type: e.Type,
+						})
+					}
+				}
+				if len(evs) == 0 {
+					continue
+				}
+				sortEvents(evs)
+				if err := writeRun(job.out, evs); err != nil {
+					errs[w] = err
+					continue
+				}
+				nonEmpty[ji] = true
+			}
+		}(w)
+	}
+	for ji := range jobs {
+		jobCh <- ji
+	}
+	close(jobCh)
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
+	}
+	var runs []string
+	for ji, ok := range nonEmpty {
+		if ok {
+			runs = append(runs, jobs[ji].out)
+		}
+	}
+	return runs, nil
+}
+
+// sortEvents sorts by the merge's total order.
+func sortEvents(evs []Event) {
+	sort.Slice(evs, func(i, j int) bool { return evs[i].less(evs[j]) })
+}
+
+// reduceRuns merges run files until at most fanIn remain. Each pass merges
+// only the minimal prefix — min(fanIn, excess+1) runs — into one run
+// appended at the queue's tail, so a trace just over the fan-in boundary
+// rewrites a couple of runs, not the whole spill, and deep reductions
+// re-merge each byte O(1) times on average. Merging never reorders the
+// (Time, UE, Seq) total order, so the final stream is independent of how
+// many passes happened.
+func reduceRuns(runs []string, fanIn int, dir string) ([]string, error) {
+	for seq := 0; len(runs) > fanIn; seq++ {
+		k := min(fanIn, len(runs)-fanIn+1)
+		out := filepath.Join(dir, fmt.Sprintf("merge-%06d.bin", seq))
+		if err := mergeRunFiles(runs[:k], out); err != nil {
+			return nil, err
+		}
+		// The merged inputs are dead weight; delete them eagerly so disk
+		// usage stays ~2× the trace instead of growing per pass.
+		for _, path := range runs[:k] {
+			os.Remove(path)
+		}
+		runs = append(runs[k:], out)
+	}
+	return runs, nil
+}
+
+// mergeRunFiles k-way merges sorted run files into one sorted run.
+func mergeRunFiles(paths []string, out string) error {
+	h, err := openRunHeap(paths)
+	if err != nil {
+		return err
+	}
+	defer func() {
+		for _, r := range h {
+			r.close()
+		}
+	}()
+
+	f, err := os.Create(out)
+	if err != nil {
+		return fmt.Errorf("scenario: creating merge run %s: %w", out, err)
+	}
+	bw := bufio.NewWriterSize(f, 1<<16)
+	var rec [recordSize]byte
+	for len(h) > 0 {
+		r := h[0]
+		encodeRecord(rec[:], r.cur)
+		if _, err := bw.Write(rec[:]); err != nil {
+			f.Close()
+			return fmt.Errorf("scenario: writing merge run %s: %w", out, err)
+		}
+		ok, err := r.next()
+		switch {
+		case err != nil:
+			f.Close()
+			return err
+		case ok:
+			heap.Fix(&h, 0)
+		default:
+			heap.Pop(&h)
+			if err := r.close(); err != nil {
+				f.Close()
+				return err
+			}
+		}
+	}
+	if err := bw.Flush(); err != nil {
+		f.Close()
+		return fmt.Errorf("scenario: flushing merge run %s: %w", out, err)
+	}
+	return f.Close()
+}

@@ -1,0 +1,101 @@
+package scenario
+
+import (
+	"runtime"
+	"testing"
+
+	"cptgpt/internal/trace"
+)
+
+// liveHeap forces a collection and returns the live heap size.
+func liveHeap() uint64 {
+	runtime.GC()
+	var ms runtime.MemStats
+	runtime.ReadMemStats(&ms)
+	return ms.HeapAlloc
+}
+
+// peakScenarioHeap runs a flash-crowd scenario at the given population and
+// returns the peak live heap observed (after Open and sampled during the
+// drain), relative to the pre-run baseline.
+func peakScenarioHeap(t *testing.T, ues int) uint64 {
+	t.Helper()
+	spec, err := Builtin("flash-crowd")
+	if err != nil {
+		t.Fatal(err)
+	}
+	base := liveHeap()
+	st, err := spec.Open(RunOpts{UEs: ues, Parallelism: 2, BatchSize: 100})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer st.Close()
+	peak := liveHeap()
+	n := 0
+	for {
+		_, ok := st.Next()
+		if !ok {
+			break
+		}
+		n++
+		if n%8192 == 0 {
+			if h := liveHeap(); h > peak {
+				peak = h
+			}
+		}
+	}
+	if err := st.Err(); err != nil {
+		t.Fatal(err)
+	}
+	if h := liveHeap(); h > peak {
+		peak = h
+	}
+	if n == 0 {
+		t.Fatal("scenario emitted no events")
+	}
+	if peak <= base {
+		return 0
+	}
+	return peak - base
+}
+
+// TestBoundedMemoryStreaming is the alloc guard for the streaming pipeline:
+// quadrupling the UE population must not meaningfully move the peak live
+// heap, because every phase holds O(BatchSize) streams plus O(MaxFanIn)
+// merge buffers — events live on disk, not in memory.
+func TestBoundedMemoryStreaming(t *testing.T) {
+	if testing.Short() {
+		t.Skip("memory profile run skipped in -short")
+	}
+	small := peakScenarioHeap(t, 500)
+	large := peakScenarioHeap(t, 2000)
+	// Identical asymptotics with generous constant slack: the large run
+	// may cost at most 2x the small one plus 4 MiB, against a ~4x event
+	// volume. A pipeline that materialized the dataset would blow through
+	// this immediately (±16 bytes/event × ~4x events).
+	if large > 2*small+4<<20 {
+		t.Fatalf("peak heap scales with UE count: %d UEs → %d bytes, %d UEs → %d bytes",
+			500, small, 2000, large)
+	}
+}
+
+// Merging zero-length sources must yield a clean empty stream.
+func TestEmptyScenarioStream(t *testing.T) {
+	spec := &Spec{
+		Name: "empty", Generation: "4G", Seed: 1, HorizonSec: 10, Population: 4,
+		Sources: []SourceSpec{{ID: "none", Kind: "custom", Share: 1}},
+	}
+	st, err := spec.Open(RunOpts{Sources: map[string]ChunkFunc{
+		"none": func(lo, hi int) ([]trace.Stream, error) { return make([]trace.Stream, hi-lo), nil },
+	}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer st.Close()
+	if _, ok := st.Next(); ok {
+		t.Fatal("empty scenario emitted an event")
+	}
+	if err := st.Err(); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -328,6 +328,60 @@ func (m *Model) Generate(opts GenOpts) (*trace.Dataset, error) {
 	return &trace.Dataset{Generation: m.Gen, Streams: streams}, nil
 }
 
+// GenerateRange synthesizes the streams with global indices [lo, hi) of
+// the population Generate would produce for the same opts: the returned
+// slice equals Generate(opts).Streams[lo:hi] bit-for-bit whenever
+// opts.NumStreams ≥ hi. Every stream draws only from its own index-seeded
+// RNG, so chunked emission over any partition of the index space
+// reconstructs one full run — the scenario engine's streaming sources rely
+// on this.
+func (m *Model) GenerateRange(lo, hi int, opts GenOpts) ([]trace.Stream, error) {
+	if lo < 0 || hi < lo {
+		return nil, fmt.Errorf("smm: invalid stream range [%d,%d)", lo, hi)
+	}
+	weights := make([]float64, len(m.clusters))
+	for i := range m.clusters {
+		weights[i] = m.clusters[i].weight
+	}
+	pick, err := stats.NewCategorical(weights)
+	if err != nil {
+		return nil, fmt.Errorf("smm: cluster weights: %w", err)
+	}
+	machine := statemachine.New(m.Gen)
+	streams := make([]trace.Stream, hi-lo)
+	n := hi - lo
+	workers := opts.Parallelism
+	if workers <= 0 {
+		workers = tensor.Parallelism()
+	}
+	if workers > n {
+		workers = n
+	}
+	if workers <= 1 {
+		for j := 0; j < n; j++ {
+			streams[j] = m.sampleStream(lo+j, opts, pick, machine)
+		}
+		return streams, nil
+	}
+	var wg sync.WaitGroup
+	jobs := make(chan int)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := range jobs {
+				streams[j] = m.sampleStream(lo+j, opts, pick, machine)
+			}
+		}()
+	}
+	for j := 0; j < n; j++ {
+		jobs <- j
+	}
+	close(jobs)
+	wg.Wait()
+	return streams, nil
+}
+
 // sampleStream draws one semi-Markov stream with its own index-seeded RNG.
 func (m *Model) sampleStream(i int, opts GenOpts, pick *stats.Categorical, machine statemachine.Machine) trace.Stream {
 	rng := stats.NewRand(m.Cfg.Seed ^ opts.Seed ^ (uint64(i)+1)*0x9e3779b97f4a7c15)

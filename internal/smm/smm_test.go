@@ -1,6 +1,7 @@
 package smm
 
 import (
+	"reflect"
 	"testing"
 
 	"cptgpt/internal/events"
@@ -203,5 +204,39 @@ func TestGenerateParallelismInvariant(t *testing.T) {
 				}
 			}
 		}
+	}
+}
+
+// Chunked emission must concatenate to exactly Generate's output.
+func TestSMMGenerateRangeMatchesGenerate(t *testing.T) {
+	d := groundTruth(t, 3, 120)
+	m, err := Fit(d, DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	opts := GenOpts{NumStreams: 33, Device: events.Phone, Seed: 8, StartWindow: 60}
+	full, err := m.Generate(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, chunk := range []int{1, 5, 33} {
+		var got []trace.Stream
+		for lo := 0; lo < opts.NumStreams; lo += chunk {
+			hi := lo + chunk
+			if hi > opts.NumStreams {
+				hi = opts.NumStreams
+			}
+			part, err := m.GenerateRange(lo, hi, opts)
+			if err != nil {
+				t.Fatal(err)
+			}
+			got = append(got, part...)
+		}
+		if !reflect.DeepEqual(got, full.Streams) {
+			t.Fatalf("chunk size %d diverged from Generate", chunk)
+		}
+	}
+	if _, err := m.GenerateRange(-1, 2, opts); err == nil {
+		t.Fatal("negative range must error")
 	}
 }

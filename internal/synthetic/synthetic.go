@@ -22,6 +22,7 @@ import (
 
 	"cptgpt/internal/events"
 	"cptgpt/internal/stats"
+	"cptgpt/internal/tensor"
 	"cptgpt/internal/trace"
 )
 
@@ -249,22 +250,79 @@ type ueLatent struct {
 	connScal float64 // stretches connected sojourns
 }
 
+// TotalUEs returns the configured population size across device types —
+// the exclusive upper bound of the global UE index space GenerateRange
+// addresses.
+func TotalUEs(cfg Config) int {
+	var n int
+	for _, dev := range events.DeviceTypes() {
+		n += cfg.UEs[dev]
+	}
+	return n
+}
+
+// deviceOfIndex maps a global UE index (device-major canonical order) to
+// its device type and per-device index.
+func deviceOfIndex(cfg Config, idx int) (events.DeviceType, int) {
+	for _, dev := range events.DeviceTypes() {
+		if idx < cfg.UEs[dev] {
+			return dev, idx
+		}
+		idx -= cfg.UEs[dev]
+	}
+	panic("synthetic: UE index out of range")
+}
+
+// simWorkPerUE is the rough per-UE simulation cost fed to the worker pool's
+// fan-out heuristic; one UE is always worth sharding.
+const simWorkPerUE = 1 << 20
+
 // Generate produces a ground-truth dataset according to cfg. Streams are
 // time-ordered and semantically valid with respect to the generation's
 // hierarchical state machine.
+//
+// UE simulation fans out across the tensor worker pool; because every UE
+// consumes only its own index-seeded RNG, the output is bit-identical to
+// the serial loop at any parallelism degree.
 func Generate(cfg Config) (*trace.Dataset, error) {
 	if err := cfg.Validate(); err != nil {
 		return nil, err
 	}
-	profs := profiles()
+	streams, err := GenerateRange(cfg, 0, TotalUEs(cfg))
+	if err != nil {
+		return nil, err
+	}
 	d := &trace.Dataset{Generation: cfg.Generation}
-	horizon := 3600 * float64(cfg.Hours)
+	for i := range streams {
+		if len(streams[i].Events) > 0 {
+			d.Streams = append(d.Streams, streams[i])
+		}
+	}
+	return d, nil
+}
 
-	// Deterministic order over device types for reproducibility.
-	for _, dev := range events.DeviceTypes() {
-		n := cfg.UEs[dev]
-		p := profs[dev]
-		for i := 0; i < n; i++ {
+// GenerateRange simulates the UEs with global indices in [lo, hi) — the
+// canonical device-major order Generate uses — and returns their streams in
+// index order, including streams that emitted no events (Generate drops
+// those; chunked consumers filter as they see fit). Each UE draws only from
+// its own index-seeded RNG, so the concatenation of arbitrary chunk
+// emissions is bit-identical to one full run: the streaming scenario engine
+// leans on exactly this to synthesize million-UE populations in
+// O(chunk)-memory.
+func GenerateRange(cfg Config, lo, hi int) ([]trace.Stream, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	if total := TotalUEs(cfg); lo < 0 || hi < lo || hi > total {
+		return nil, fmt.Errorf("synthetic: UE range [%d,%d) outside [0,%d)", lo, hi, total)
+	}
+	profs := profiles()
+	horizon := 3600 * float64(cfg.Hours)
+	streams := make([]trace.Stream, hi-lo)
+	tensor.ParallelFor(hi-lo, simWorkPerUE, func(jlo, jhi int) {
+		for j := jlo; j < jhi; j++ {
+			dev, i := deviceOfIndex(cfg, lo+j)
+			p := profs[dev]
 			// Derive a per-UE seed so UE streams are independent of
 			// population sizes of other device types.
 			rng := stats.NewRand(cfg.Seed ^ (uint64(dev)+1)<<32 ^ uint64(i)*0x9e3779b97f4a7c15)
@@ -273,13 +331,10 @@ func Generate(cfg Config) (*trace.Dataset, error) {
 				mobility: math.Exp(p.mobilitySigma * rng.NormFloat64()),
 				connScal: math.Exp(0.4 * rng.NormFloat64()),
 			}
-			s := simulateUE(cfg, p, lat, dev, i, horizon, rng)
-			if len(s.Events) > 0 {
-				d.Streams = append(d.Streams, s)
-			}
+			streams[j] = simulateUE(cfg, p, lat, dev, i, horizon, rng)
 		}
-	}
-	return d, nil
+	})
+	return streams, nil
 }
 
 // simulateUE walks one UE through the state machine over [0, horizon).

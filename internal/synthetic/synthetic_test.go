@@ -2,10 +2,13 @@ package synthetic
 
 import (
 	"math"
+	"reflect"
 	"testing"
 
 	"cptgpt/internal/events"
 	"cptgpt/internal/statemachine"
+	"cptgpt/internal/tensor"
+	"cptgpt/internal/trace"
 )
 
 func small4G(t *testing.T, seed uint64) Config {
@@ -216,5 +219,62 @@ func Test5GUsesOnly5GVocabulary(t *testing.T) {
 				t.Fatalf("5G trace contains %s", e.Type)
 			}
 		}
+	}
+}
+
+// The worker-pool fan-out must not change a single bit of the output.
+func TestParallelMatchesSerial(t *testing.T) {
+	cfg := small4G(t, 9)
+	prev := tensor.SetParallelism(1)
+	serial, err := Generate(cfg)
+	tensor.SetParallelism(prev)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tensor.SetParallelism(4)
+	defer tensor.SetParallelism(prev)
+	par, err := Generate(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(serial, par) {
+		t.Fatal("parallel generation diverged from serial")
+	}
+}
+
+// Chunked emission must concatenate to exactly the full run, regardless of
+// chunk boundaries.
+func TestGenerateRangeMatchesFull(t *testing.T) {
+	cfg := small4G(t, 11)
+	total := TotalUEs(cfg)
+	if total != 130 {
+		t.Fatalf("TotalUEs = %d, want 130", total)
+	}
+	full, err := GenerateRange(cfg, 0, total)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, chunk := range []int{1, 7, 64, total} {
+		var got []trace.Stream
+		for lo := 0; lo < total; lo += chunk {
+			hi := lo + chunk
+			if hi > total {
+				hi = total
+			}
+			part, err := GenerateRange(cfg, lo, hi)
+			if err != nil {
+				t.Fatal(err)
+			}
+			got = append(got, part...)
+		}
+		if !reflect.DeepEqual(got, full) {
+			t.Fatalf("chunk size %d diverged from full run", chunk)
+		}
+	}
+	if _, err := GenerateRange(cfg, 5, 3); err == nil {
+		t.Fatal("inverted range must error")
+	}
+	if _, err := GenerateRange(cfg, 0, total+1); err == nil {
+		t.Fatal("out-of-bounds range must error")
 	}
 }

@@ -2,6 +2,7 @@ package trace
 
 import (
 	"bufio"
+	"compress/gzip"
 	"encoding/csv"
 	"encoding/json"
 	"fmt"
@@ -140,8 +141,23 @@ func ReadJSONL(r io.Reader) (*Dataset, error) {
 }
 
 // SaveFile writes the dataset to path, choosing the format by extension:
-// ".csv" for CSV, anything else for JSONL.
+// ".csv" for CSV, anything else for JSONL; a ".gz" suffix transparently
+// gzip-compresses either format. JSONL goes through the incremental
+// StreamWriter, so no second copy of the dataset is buffered.
 func SaveFile(path string, d *Dataset) (err error) {
+	if !isCSV(formatPath(path)) {
+		sw, err := CreateStream(path, d.Generation)
+		if err != nil {
+			return err
+		}
+		for i := range d.Streams {
+			if err := sw.WriteStream(&d.Streams[i]); err != nil {
+				sw.Close()
+				return err
+			}
+		}
+		return sw.Close()
+	}
 	f, err := os.Create(path)
 	if err != nil {
 		return fmt.Errorf("trace: creating %s: %w", path, err)
@@ -151,24 +167,57 @@ func SaveFile(path string, d *Dataset) (err error) {
 			err = cerr
 		}
 	}()
-	if isCSV(path) {
-		return WriteCSV(f, d)
+	var w io.Writer = f
+	if isGzip(path) {
+		gz := gzip.NewWriter(f)
+		defer func() {
+			if cerr := gz.Close(); err == nil {
+				err = cerr
+			}
+		}()
+		w = gz
 	}
-	return WriteJSONL(f, d)
+	return WriteCSV(w, d)
 }
 
-// LoadFile reads a dataset from path, choosing the format by extension.
-// The generation argument is only consulted for CSV files (JSONL embeds it).
+// LoadFile reads a dataset from path, choosing the format by extension and
+// transparently decompressing a ".gz" suffix. The generation argument is
+// only consulted for CSV files (JSONL embeds it). JSONL goes through the
+// incremental StreamReader.
 func LoadFile(path string, gen events.Generation) (*Dataset, error) {
+	if !isCSV(formatPath(path)) {
+		sr, err := OpenStream(path)
+		if err != nil {
+			return nil, err
+		}
+		defer sr.Close()
+		d := &Dataset{Generation: sr.Generation()}
+		for {
+			var s Stream
+			if err := sr.Next(&s); err == io.EOF {
+				break
+			} else if err != nil {
+				return nil, err
+			}
+			d.Streams = append(d.Streams, s)
+		}
+		return d, nil
+	}
 	f, err := os.Open(path)
 	if err != nil {
 		return nil, fmt.Errorf("trace: opening %s: %w", path, err)
 	}
 	defer f.Close()
-	if isCSV(path) {
-		return ReadCSV(f, gen)
+	var r io.Reader = f
+	if isGzip(path) {
+		gz, err := gzip.NewReader(bufio.NewReader(f))
+		if err != nil {
+			return nil, fmt.Errorf("trace: opening gzip %s: %w", path, err)
+		}
+		defer gz.Close()
+		r = gz
 	}
-	return ReadJSONL(f)
+	return ReadCSV(r, gen)
 }
 
 func isCSV(path string) bool {

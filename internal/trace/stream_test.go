@@ -1,0 +1,160 @@
+package trace
+
+import (
+	"bytes"
+	"io"
+	"path/filepath"
+	"reflect"
+	"testing"
+
+	"cptgpt/internal/events"
+)
+
+func TestStreamWriterReaderRoundTrip(t *testing.T) {
+	d := sampleDataset()
+	var buf bytes.Buffer
+	w := NewStreamWriter(&buf, d.Generation)
+	for i := range d.Streams {
+		if err := w.WriteStream(&d.Streams[i]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if w.Streams() != len(d.Streams) {
+		t.Fatalf("wrote %d streams, want %d", w.Streams(), len(d.Streams))
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	r, err := NewStreamReader(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Generation() != d.Generation {
+		t.Fatalf("generation %v, want %v", r.Generation(), d.Generation)
+	}
+	var got []Stream
+	for {
+		var s Stream
+		if err := r.Next(&s); err == io.EOF {
+			break
+		} else if err != nil {
+			t.Fatal(err)
+		}
+		got = append(got, s)
+	}
+	if !reflect.DeepEqual(got, d.Streams) {
+		t.Fatalf("streamed round trip mismatch:\n got %+v\nwant %+v", got, d.Streams)
+	}
+}
+
+// A streamed trace must be readable by the whole-dataset JSONL reader and
+// vice versa (the header's unknown stream count is -1).
+func TestStreamWriterReadableByReadJSONL(t *testing.T) {
+	d := sampleDataset()
+	var buf bytes.Buffer
+	w := NewStreamWriter(&buf, d.Generation)
+	for i := range d.Streams {
+		if err := w.WriteStream(&d.Streams[i]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadJSONL(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got.Streams, d.Streams) {
+		t.Fatal("ReadJSONL cannot read a streamed trace")
+	}
+
+	buf.Reset()
+	if err := WriteJSONL(&buf, d); err != nil {
+		t.Fatal(err)
+	}
+	r, err := NewStreamReader(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var s Stream
+	if err := r.Next(&s); err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(s, d.Streams[0]) {
+		t.Fatal("StreamReader cannot read a WriteJSONL trace")
+	}
+}
+
+func TestEmptyStreamWriterStillValid(t *testing.T) {
+	var buf bytes.Buffer
+	w := NewStreamWriter(&buf, events.Gen5G)
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	d, err := ReadJSONL(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.Generation != events.Gen5G || len(d.Streams) != 0 {
+		t.Fatalf("empty trace read back wrong: %+v", d)
+	}
+}
+
+func TestFileRoundTripGzip(t *testing.T) {
+	d := sampleDataset()
+	dir := t.TempDir()
+	for _, name := range []string{"t.jsonl.gz", "t.csv.gz", "t.jsonl", "t.csv"} {
+		path := filepath.Join(dir, name)
+		if err := SaveFile(path, d); err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		got, err := LoadFile(path, d.Generation)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if got.NumStreams() != d.NumStreams() || got.NumEvents() != d.NumEvents() {
+			t.Fatalf("%s: round trip lost data: %d/%d streams, %d/%d events",
+				name, got.NumStreams(), d.NumStreams(), got.NumEvents(), d.NumEvents())
+		}
+		if !reflect.DeepEqual(got.Streams[0].Events, d.Streams[0].Events) {
+			t.Fatalf("%s: stream 0 mismatch", name)
+		}
+	}
+}
+
+func TestCreateStreamGzipRoundTrip(t *testing.T) {
+	d := sampleDataset()
+	path := filepath.Join(t.TempDir(), "stream.jsonl.gz")
+	w, err := CreateStream(path, d.Generation)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range d.Streams {
+		if err := w.WriteStream(&d.Streams[i]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	r, err := OpenStream(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer r.Close()
+	var n int
+	for {
+		var s Stream
+		if err := r.Next(&s); err == io.EOF {
+			break
+		} else if err != nil {
+			t.Fatal(err)
+		}
+		n++
+	}
+	if n != len(d.Streams) {
+		t.Fatalf("read %d streams, want %d", n, len(d.Streams))
+	}
+}
