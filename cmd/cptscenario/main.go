@@ -47,8 +47,16 @@ func main() {
 		batch    = flag.Int("batch", 0, "UE streams per generation chunk (0 = default); output is identical at any value")
 		fanIn    = flag.Int("fanin", 0, "merge fan-in bound (0 = default)")
 		tmp      = flag.String("tmp", "", "spill directory (default system temp)")
+		prec     = flag.String("precision", "", "override cptgpt sources' decode arithmetic: f64 (bit-exact) or f32 (fast float32 path); empty keeps each source's spec setting")
 	)
 	flag.Parse()
+
+	// Validate up front: the override only reaches ParsePrecision when the
+	// spec has a cptgpt source, and a typo must not be silently dropped on
+	// the all-synthetic built-ins.
+	if _, err := cptgen.ParsePrecision(*prec); err != nil {
+		log.Fatal(err)
+	}
 
 	if *list {
 		for _, name := range cptgen.BuiltinScenarios() {
@@ -78,7 +86,7 @@ func main() {
 
 	opts := cptgen.ScenarioRunOpts{
 		UEs: *ues, Parallelism: *par, BatchSize: *batch,
-		MaxFanIn: *fanIn, TempDir: *tmp,
+		MaxFanIn: *fanIn, TempDir: *tmp, Precision: *prec,
 	}
 
 	start := time.Now()

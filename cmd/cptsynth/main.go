@@ -33,11 +33,18 @@ func main() {
 		out       = flag.String("out", "synth.jsonl", "output trace path")
 		seed      = flag.Uint64("seed", 3, "random seed")
 		par       = flag.Int("parallelism", 0, "worker count for generation (0 = all cores); output is identical at any value")
-		batch     = flag.Int("batch", 0, "CPT-GPT lockstep decode batch size (0 = default)")
+		batch     = flag.Int("batch", 0, "CPT-GPT decode batch size: slots per continuously refilled decoder (0 = default)")
+		precision = flag.String("precision", "", "CPT-GPT decode arithmetic: f64 (bit-exact, default) or f32 (fast float32 path)")
 	)
 	flag.Parse()
 	if *par > 0 {
 		cptgen.SetParallelism(*par)
+	}
+	// Validate up front so a typo errors for every -model, not just cptgpt
+	// (the only generator the knob applies to).
+	prec, err := cptgen.ParsePrecision(*precision)
+	if err != nil {
+		log.Fatal(err)
 	}
 
 	dev, err := events.ParseDeviceType(*device)
@@ -56,7 +63,7 @@ func main() {
 		if err != nil {
 			log.Fatal(err)
 		}
-		if d, err = m.Generate(cptgen.CPTGPTGenOpts{NumStreams: *n, Device: dev, Seed: *seed, Parallelism: *par, BatchSize: *batch}); err != nil {
+		if d, err = m.Generate(cptgen.CPTGPTGenOpts{NumStreams: *n, Device: dev, Seed: *seed, Precision: prec, Parallelism: *par, BatchSize: *batch}); err != nil {
 			log.Fatal(err)
 		}
 	case "netshare":

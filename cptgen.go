@@ -56,9 +56,30 @@ func SetParallelism(n int) (prev int) { return tensor.SetParallelism(n) }
 // Parallelism reports the effective process-global parallelism degree.
 func Parallelism() int { return tensor.Parallelism() }
 
-// DefaultBatchSize is the number of UE streams CPT-GPT decodes in lockstep
-// per batch when CPTGPTGenOpts.BatchSize is unset.
+// DefaultBatchSize is the number of decode slots per CPT-GPT BatchDecoder
+// when CPTGPTGenOpts.BatchSize is unset.
 const DefaultBatchSize = cptgpt.DefaultBatchSize
+
+// Precision selects CPT-GPT's decode arithmetic. PrecisionF64 (the zero
+// value) is the bit-exact float64 reference path; PrecisionF32 decodes
+// through a frozen float32 snapshot of the trained weights with fused row
+// kernels and a contiguous float32 KV arena — about half the memory traffic,
+// roughly 2× the tokens/s — under its own per-seed determinism contract
+// (same Seed × Precision always reproduces the same output, at every
+// Parallelism and BatchSize). Decoding uses continuous batching either way:
+// the moment a stream emits STOP, its decoder slot is refilled with the next
+// pending UE, so slots stay hot under skewed stream-length distributions.
+type Precision = cptgpt.Precision
+
+// Precision values for CPTGPTGenOpts.Precision.
+const (
+	PrecisionF64 = cptgpt.F64
+	PrecisionF32 = cptgpt.F32
+)
+
+// ParsePrecision parses a precision flag value ("", "f64", "float64",
+// "f32", "float32"); the empty string means PrecisionF64.
+func ParsePrecision(s string) (Precision, error) { return cptgpt.ParsePrecision(s) }
 
 // Core data model.
 type (

@@ -7,88 +7,164 @@ import (
 	"cptgpt/internal/tensor"
 )
 
-// DefaultBatchSize is the number of UE streams a BatchDecoder steps in
-// lockstep when GenOpts.BatchSize is unset. Batching amortizes scheduling
+// DefaultBatchSize is the number of UE streams a BatchDecoder steps per
+// batch when GenOpts.BatchSize is unset. Batching amortizes scheduling
 // and cache traffic across streams; the per-stream math is unchanged.
 const DefaultBatchSize = 32
 
-// BatchDecoder steps up to capacity independent UE streams in lockstep
-// through the transformer. All per-stream state lives in shared contiguous
-// buffers: the key/value cache of block b is one slot-major slice of
-// capacity × MaxLen × DModel values, so stepping N streams touches N
-// adjacent cache regions instead of N scattered per-stream decoders.
+// BatchDecoder steps up to capacity independent UE streams through the
+// transformer. All per-stream state lives in shared contiguous buffers:
+// in the F64 reference path the key/value cache of block b is one slot-major
+// slice of capacity × MaxLen × DModel values; in the F32 fast path the whole
+// cache is a single contiguous float32 arena (blocks × slots × MaxLen rows
+// of interleaved [K|V]), so stepping N streams touches N adjacent cache
+// regions instead of N scattered per-stream decoders.
 //
-// Each slot runs exactly the same row kernels as the serial decoder
-// (linearRowInto, layerNormRow, attendRow, mlpRowInto) over its own slice of
-// the shared buffers, and slots never read each other's state. Output is
-// therefore bit-identical to decoding every stream alone, regardless of how
-// many worker goroutines the step fans out over — the property the
-// determinism tests pin down.
+// In the F64 path each slot runs exactly the same row kernels as the serial
+// decoder (linearRowInto, layerNormRow, attendRow, mlpRowInto) over its own
+// slice of the shared buffers, and slots never read each other's state.
+// Output is therefore bit-identical to decoding every stream alone,
+// regardless of how many worker goroutines the step fans out over — the
+// property the determinism tests pin down. The F32 path runs the fused
+// float32 kernels of infer32.go over the frozen InferModel snapshot; it is
+// deterministic per seed but not bit-compatible with F64.
+//
+// Slot-reset contract (continuous batching): a slot's KV-cache rows and
+// score/accumulator scratch are meaningful only for positions < Pos(slot).
+// ResetSlot rewinds one slot to position 0, making all of its prior cache
+// contents unreachable — no zeroing needed — so a finished stream's slot can
+// be refilled with a fresh stream mid-batch while other slots keep decoding
+// at their own positions. Reset is ResetSlot over every slot.
 type BatchDecoder struct {
 	m        *Model
+	prec     Precision
+	inf      *InferModel // frozen f32 snapshot; non-nil iff prec == F32
 	capacity int
 	pos      []int // per-slot position
 
-	// kc/vc hold, per block, the shared KV cache: slot-major, each slot
-	// owning MaxLen × DModel values.
+	// Scheduling counters (see Stats): steps counts Step calls, slotSteps
+	// the total slot-steps decoded across them.
+	steps, slotSteps int64
+
+	// F64 state. kc/vc hold, per block, the shared KV cache: slot-major,
+	// each slot owning MaxLen × DModel values.
 	kc, vc [][]float64
 
-	// Slot-major scratch; slot i uses rows [i*width, (i+1)*width).
+	// Slot-major f64 scratch; slot i uses rows [i*width, (i+1)*width).
 	x, q, k, v, att, tmp []float64 // capacity × DModel
 	ff                   []float64 // capacity × MLPHidden
 	scores               []float64 // capacity × MaxLen
 	hid, hid2            []float64 // capacity × widest head layer
-	evOut                []float64 // capacity × V
-	iaOut                []float64 // capacity × (1 or 2)
-	stopOut              []float64 // capacity × 2
-	outs                 []StepOut // capacity
+
+	// F32 state. kv32 is the contiguous KV arena: block-major, each
+	// (block, slot) pair owning MaxLen rows of 2×DModel interleaved [K|V]
+	// values (half the bytes of the f64 cache).
+	kv32                        []float32
+	tok32                       []float32 // capacity × Dim
+	x32, q32, k32, v32          []float32 // capacity × DModel
+	att32, tmp32                []float32 // capacity × DModel
+	ff32                        []float32 // capacity × MLPHidden
+	mAcc32, lAcc32              []float32 // capacity × Heads (online softmax)
+	hid32, hid232               []float32 // capacity × widest head layer
+	evOut32, iaOut32, stopOut32 []float32 // capacity × head widths
+
+	// Head outputs (both precisions; the f32 path widens into these so
+	// StepOut and the sampling loop are precision-agnostic).
+	evOut   []float64 // capacity × V
+	iaOut   []float64 // capacity × (1 or 2)
+	stopOut []float64 // capacity × 2
+	outs    []StepOut // capacity
 }
 
-// NewBatchDecoder creates a decoder that can step up to capacity streams in
-// lockstep. The decoder is reusable across batches via Reset.
-func (m *Model) NewBatchDecoder(capacity int) *BatchDecoder {
+// NewBatchDecoder creates a decoder that can step up to capacity streams at
+// the given precision (F64: bit-exact reference; F32: fused float32 fast
+// path over the model's frozen Infer snapshot). The decoder is reusable
+// across batches via Reset/ResetSlot.
+func (m *Model) NewBatchDecoder(capacity int, prec Precision) *BatchDecoder {
 	if capacity < 1 {
 		panic(fmt.Sprintf("cptgpt: BatchDecoder capacity must be ≥ 1, got %d", capacity))
 	}
 	dm := m.Cfg.DModel
-	d := &BatchDecoder{m: m, capacity: capacity}
+	d := &BatchDecoder{m: m, prec: prec, capacity: capacity}
 	d.pos = make([]int, capacity)
-	d.kc = make([][]float64, len(m.BlocksNN))
-	d.vc = make([][]float64, len(m.BlocksNN))
-	for i := range d.kc {
-		d.kc[i] = make([]float64, capacity*m.Cfg.MaxLen*dm)
-		d.vc[i] = make([]float64, capacity*m.Cfg.MaxLen*dm)
-	}
-	d.x = make([]float64, capacity*dm)
-	d.q = make([]float64, capacity*dm)
-	d.k = make([]float64, capacity*dm)
-	d.v = make([]float64, capacity*dm)
-	d.att = make([]float64, capacity*dm)
-	d.tmp = make([]float64, capacity*dm)
-	d.ff = make([]float64, capacity*m.Cfg.MLPHidden)
-	d.scores = make([]float64, capacity*m.Cfg.MaxLen)
 	hw := headHiddenMax(m)
-	d.hid = make([]float64, capacity*hw)
-	d.hid2 = make([]float64, capacity*hw)
+	iaW := m.IAHd.Layers[len(m.IAHd.Layers)-1].W.Cols
+	switch prec {
+	case F32:
+		d.inf = m.Infer()
+		d.kv32 = make([]float32, len(m.BlocksNN)*capacity*m.Cfg.MaxLen*2*dm)
+		d.tok32 = make([]float32, capacity*m.Tok.Dim())
+		d.x32 = make([]float32, capacity*dm)
+		d.q32 = make([]float32, capacity*dm)
+		d.k32 = make([]float32, capacity*dm)
+		d.v32 = make([]float32, capacity*dm)
+		d.att32 = make([]float32, capacity*dm)
+		d.tmp32 = make([]float32, capacity*dm)
+		d.ff32 = make([]float32, capacity*m.Cfg.MLPHidden)
+		d.mAcc32 = make([]float32, capacity*m.Cfg.Heads)
+		d.lAcc32 = make([]float32, capacity*m.Cfg.Heads)
+		d.hid32 = make([]float32, capacity*hw)
+		d.hid232 = make([]float32, capacity*hw)
+		d.evOut32 = make([]float32, capacity*m.Tok.V())
+		d.iaOut32 = make([]float32, capacity*iaW)
+		d.stopOut32 = make([]float32, capacity*2)
+	default:
+		d.kc = make([][]float64, len(m.BlocksNN))
+		d.vc = make([][]float64, len(m.BlocksNN))
+		for i := range d.kc {
+			d.kc[i] = make([]float64, capacity*m.Cfg.MaxLen*dm)
+			d.vc[i] = make([]float64, capacity*m.Cfg.MaxLen*dm)
+		}
+		d.x = make([]float64, capacity*dm)
+		d.q = make([]float64, capacity*dm)
+		d.k = make([]float64, capacity*dm)
+		d.v = make([]float64, capacity*dm)
+		d.att = make([]float64, capacity*dm)
+		d.tmp = make([]float64, capacity*dm)
+		d.ff = make([]float64, capacity*m.Cfg.MLPHidden)
+		d.scores = make([]float64, capacity*m.Cfg.MaxLen)
+		d.hid = make([]float64, capacity*hw)
+		d.hid2 = make([]float64, capacity*hw)
+	}
 	d.evOut = make([]float64, capacity*m.Tok.V())
-	d.iaOut = make([]float64, capacity*m.IAHd.Layers[len(m.IAHd.Layers)-1].W.Cols)
+	d.iaOut = make([]float64, capacity*iaW)
 	d.stopOut = make([]float64, capacity*2)
 	d.outs = make([]StepOut, capacity)
 	return d
 }
 
-// Capacity returns the number of lockstep slots.
+// Capacity returns the number of decode slots.
 func (d *BatchDecoder) Capacity() int { return d.capacity }
+
+// Precision returns the decoder's arithmetic mode.
+func (d *BatchDecoder) Precision() Precision { return d.prec }
 
 // Pos returns slot's current position (tokens consumed).
 func (d *BatchDecoder) Pos(slot int) int { return d.pos[slot] }
 
-// Reset rewinds every slot to position 0, keeping all allocations.
+// Reset rewinds every slot to position 0, keeping all allocations. See the
+// slot-reset contract in the type documentation: rewinding a position makes
+// the slot's cached keys/values unreachable, so no buffer is cleared.
 func (d *BatchDecoder) Reset() {
 	for i := range d.pos {
 		d.pos[i] = 0
 	}
 }
+
+// ResetSlot rewinds a single slot to position 0 so continuous batching can
+// seat a new stream in it while the other slots keep decoding. The slot's
+// KV rows, scores and accumulators above position 0 become stale garbage
+// that the next stream overwrites position by position — they are never
+// read, because every kernel is bounded by the slot's own pos.
+func (d *BatchDecoder) ResetSlot(slot int) { d.pos[slot] = 0 }
+
+// Stats reports the decoder's lifetime scheduling counters: steps is the
+// number of Step calls, slotSteps the total slot-steps decoded across them.
+// slotSteps / (steps × Capacity) is the slot utilization — the fraction of
+// the decoder's lockstep bandwidth doing useful work (continuous batching
+// keeps it near 1 on skewed stream-length distributions, where pure lockstep
+// idles retired slots until the longest stream finishes).
+func (d *BatchDecoder) Stats() (steps, slotSteps int64) { return d.steps, d.slotSteps }
 
 // stepCost estimates the multiply-adds of one stream's decode step, used to
 // decide whether a batch is worth fanning out across the worker pool.
@@ -104,8 +180,34 @@ func (d *BatchDecoder) stepCost() int {
 // until the next Step.
 //
 // Slots are processed independently (fanned out over the tensor worker
-// pool), so a slot panics past MaxLen exactly like the serial decoder.
+// pool), each at its own position — continuous batching mixes fresh and
+// deep slots freely — and a slot panics past MaxLen exactly like the serial
+// decoder.
 func (d *BatchDecoder) Step(slots []int, tokens []float64) []StepOut {
+	d.steps++
+	d.slotSteps += int64(len(slots))
+	f32 := d.prec == F32
+	tensor.ParallelFor(len(slots), d.stepCost(), func(lo, hi int) {
+		if f32 {
+			// The f32 fast path advances its shard of slots as one group
+			// through weight-block-outer kernels: every weight panel is
+			// streamed from memory once per group instead of once per slot,
+			// which is the economy of scale that makes a full (continuously
+			// refilled) batch cheaper per token than a drained one.
+			d.stepGroupF32(slots, lo, hi, tokens)
+			return
+		}
+		for i := lo; i < hi; i++ {
+			d.stepSlotF64(i, slots[i], tokens)
+		}
+	})
+	return d.outs[:len(slots)]
+}
+
+// stepSlotF64 advances one slot through the float64 reference kernels,
+// writing d.outs[i]. It is the exact per-slot body the lockstep decoder has
+// always run (bit-identical to the serial decoder in infer.go).
+func (d *BatchDecoder) stepSlotF64(i, slot int, tokens []float64) {
 	m := d.m
 	dm := m.Cfg.DModel
 	dim := m.Tok.Dim()
@@ -114,82 +216,198 @@ func (d *BatchDecoder) Step(slots []int, tokens []float64) []StepOut {
 	hw := len(d.hid) / d.capacity
 	iaW := len(d.iaOut) / d.capacity
 
-	tensor.ParallelFor(len(slots), d.stepCost(), func(lo, hi int) {
-		for i := lo; i < hi; i++ {
-			slot := slots[i]
-			pos := d.pos[slot]
-			if pos >= maxLen {
-				panic("cptgpt: BatchDecoder stepped past MaxLen")
-			}
-			token := tokens[slot*dim : (slot+1)*dim]
-			x := d.x[slot*dm : (slot+1)*dm]
-			q := d.q[slot*dm : (slot+1)*dm]
-			k := d.k[slot*dm : (slot+1)*dm]
-			vv := d.v[slot*dm : (slot+1)*dm]
-			att := d.att[slot*dm : (slot+1)*dm]
-			tmp := d.tmp[slot*dm : (slot+1)*dm]
-			ff := d.ff[slot*m.Cfg.MLPHidden : (slot+1)*m.Cfg.MLPHidden]
-			scores := d.scores[slot*maxLen : (slot+1)*maxLen]
-			hid := d.hid[slot*hw : (slot+1)*hw]
-			hid2 := d.hid2[slot*hw : (slot+1)*hw]
+	pos := d.pos[slot]
+	if pos >= maxLen {
+		panic("cptgpt: BatchDecoder stepped past MaxLen")
+	}
+	token := tokens[slot*dim : (slot+1)*dim]
+	x := d.x[slot*dm : (slot+1)*dm]
+	q := d.q[slot*dm : (slot+1)*dm]
+	k := d.k[slot*dm : (slot+1)*dm]
+	vv := d.v[slot*dm : (slot+1)*dm]
+	att := d.att[slot*dm : (slot+1)*dm]
+	tmp := d.tmp[slot*dm : (slot+1)*dm]
+	ff := d.ff[slot*m.Cfg.MLPHidden : (slot+1)*m.Cfg.MLPHidden]
+	scores := d.scores[slot*maxLen : (slot+1)*maxLen]
+	hid := d.hid[slot*hw : (slot+1)*hw]
+	hid2 := d.hid2[slot*hw : (slot+1)*hw]
 
-			// Token projection + positional embedding.
-			linearRowInto(x, token, m.InProj)
-			pe := m.PosEmb.Data[pos*dm : (pos+1)*dm]
-			for j := range x {
-				x[j] += pe[j]
-			}
+	// Token projection + positional embedding.
+	linearRowInto(x, token, m.InProj)
+	pe := m.PosEmb.Data[pos*dm : (pos+1)*dm]
+	for j := range x {
+		x[j] += pe[j]
+	}
 
-			for bi, b := range m.BlocksNN {
-				// Attention sub-layer (pre-norm, residual) over this slot's
-				// contiguous region of the shared cache.
-				cacheLo := slot * maxLen * dm
-				kc := d.kc[bi][cacheLo : cacheLo+(pos+1)*dm]
-				vc := d.vc[bi][cacheLo : cacheLo+(pos+1)*dm]
-				layerNormRow(tmp, x, b.LN1)
-				linearRowInto(q, tmp, b.Attn.Wq)
-				linearRowInto(k, tmp, b.Attn.Wk)
-				linearRowInto(vv, tmp, b.Attn.Wv)
-				copy(kc[pos*dm:], k)
-				copy(vc[pos*dm:], vv)
-				attendRow(att, q, kc, vc, pos+1, b.Attn.Heads, dm, scores)
-				linearRowInto(tmp, att, b.Attn.Wo)
-				for j := range x {
-					x[j] += tmp[j]
-				}
-
-				// Feed-forward sub-layer (pre-norm, residual).
-				layerNormRow(tmp, x, b.LN2)
-				linearRowInto(ff, tmp, b.FF.In)
-				for j := range ff {
-					ff[j] = gelu(ff[j])
-				}
-				linearRowInto(tmp, ff, b.FF.Out)
-				for j := range x {
-					x[j] += tmp[j]
-				}
-			}
-
-			layerNormRow(tmp, x, m.Final)
-
-			evOut := d.evOut[slot*v : (slot+1)*v]
-			iaOut := d.iaOut[slot*iaW : (slot+1)*iaW]
-			stopOut := d.stopOut[slot*2 : (slot+1)*2]
-			mlpRowInto(evOut, hid, hid2, tmp, m.EventHd)
-			mlpRowInto(iaOut, hid, hid2, tmp, m.IAHd)
-			mlpRowInto(stopOut, hid, hid2, tmp, m.StopHd)
-
-			out := &d.outs[i]
-			out.EventLogits = evOut
-			out.IAMean = iaOut[0]
-			if m.Cfg.DistHead {
-				out.IALogStd = math.Min(math.Max(iaOut[1], -6), 2)
-			} else {
-				out.IALogStd = math.NaN()
-			}
-			out.StopLogits = [2]float64{stopOut[0], stopOut[1]}
-			d.pos[slot] = pos + 1
+	for bi, b := range m.BlocksNN {
+		// Attention sub-layer (pre-norm, residual) over this slot's
+		// contiguous region of the shared cache.
+		cacheLo := slot * maxLen * dm
+		kc := d.kc[bi][cacheLo : cacheLo+(pos+1)*dm]
+		vc := d.vc[bi][cacheLo : cacheLo+(pos+1)*dm]
+		layerNormRow(tmp, x, b.LN1)
+		linearRowInto(q, tmp, b.Attn.Wq)
+		linearRowInto(k, tmp, b.Attn.Wk)
+		linearRowInto(vv, tmp, b.Attn.Wv)
+		copy(kc[pos*dm:], k)
+		copy(vc[pos*dm:], vv)
+		attendRow(att, q, kc, vc, pos+1, b.Attn.Heads, dm, scores)
+		linearRowInto(tmp, att, b.Attn.Wo)
+		for j := range x {
+			x[j] += tmp[j]
 		}
-	})
-	return d.outs[:len(slots)]
+
+		// Feed-forward sub-layer (pre-norm, residual).
+		layerNormRow(tmp, x, b.LN2)
+		linearRowInto(ff, tmp, b.FF.In)
+		for j := range ff {
+			ff[j] = gelu(ff[j])
+		}
+		linearRowInto(tmp, ff, b.FF.Out)
+		for j := range x {
+			x[j] += tmp[j]
+		}
+	}
+
+	layerNormRow(tmp, x, m.Final)
+
+	evOut := d.evOut[slot*v : (slot+1)*v]
+	iaOut := d.iaOut[slot*iaW : (slot+1)*iaW]
+	stopOut := d.stopOut[slot*2 : (slot+1)*2]
+	mlpRowInto(evOut, hid, hid2, tmp, m.EventHd)
+	mlpRowInto(iaOut, hid, hid2, tmp, m.IAHd)
+	mlpRowInto(stopOut, hid, hid2, tmp, m.StopHd)
+
+	d.fillOut(i, slot, evOut, iaOut, stopOut)
+	d.pos[slot] = pos + 1
+}
+
+// stepGroupF32 advances slots[lo:hi] as one group through the fused float32
+// kernels over the frozen InferModel snapshot, widening the head outputs
+// into the shared float64 StepOut buffers (widening is exact, so sampling
+// sees precisely the float32 results).
+//
+// The group runs phase-lockstep: every linear layer executes as a group
+// matvec with the weight block as the outer loop, so the full weight set is
+// streamed from memory once per group and shard instead of once per slot;
+// per-row operations (layer norm, the online-softmax attention over each
+// slot's own KV region, residual adds) run slot by slot. Per-slot results
+// are bit-identical no matter how slots are grouped — each row's reduction
+// order is fixed — which keeps F32 decoding deterministic at every
+// parallelism and batch composition.
+func (d *BatchDecoder) stepGroupF32(slots []int, lo, hi int, tokens []float64) {
+	m := d.m
+	inf := d.inf
+	dm := m.Cfg.DModel
+	dim := m.Tok.Dim()
+	maxLen := m.Cfg.MaxLen
+	heads := m.Cfg.Heads
+	v := m.Tok.V()
+	mlpH := m.Cfg.MLPHidden
+	hw := len(d.hid32) / d.capacity
+	iaW := len(d.iaOut) / d.capacity
+	group := slots[lo:hi]
+
+	// Token intake + positional embedding (per slot; panics before any
+	// group work if a slot was stepped past MaxLen without a reset).
+	for _, slot := range group {
+		if d.pos[slot] >= maxLen {
+			panic("cptgpt: BatchDecoder stepped past MaxLen")
+		}
+		tensor.F32From(d.tok32[slot*dim:(slot+1)*dim], tokens[slot*dim:(slot+1)*dim])
+	}
+	tensor.MatVecGroupF32(d.x32, dm, inf.inProj.WT, inf.inProj.B, d.tok32, dim, dim, dm, group)
+	for _, slot := range group {
+		x := d.x32[slot*dm : (slot+1)*dm]
+		pe := inf.posEmb[d.pos[slot]*dm : (d.pos[slot]+1)*dm]
+		for j := range x {
+			x[j] += pe[j]
+		}
+	}
+
+	stride := 2 * dm
+	slotKV := maxLen * stride
+	for bi := range inf.blocks {
+		b := &inf.blocks[bi]
+		// Attention sub-layer (pre-norm, residual): project Q/K/V for the
+		// whole group, land K/V in each slot's interleaved arena row, then
+		// one fused online-softmax pass per slot over its own cache.
+		for _, slot := range group {
+			layerNormRowF32(d.tmp32[slot*dm:(slot+1)*dm], d.x32[slot*dm:(slot+1)*dm], &b.ln1)
+		}
+		tensor.MatVecGroupF32(d.q32, dm, b.wq.WT, b.wq.B, d.tmp32, dm, dm, dm, group)
+		tensor.MatVecGroupF32(d.k32, dm, b.wk.WT, b.wk.B, d.tmp32, dm, dm, dm, group)
+		tensor.MatVecGroupF32(d.v32, dm, b.wv.WT, b.wv.B, d.tmp32, dm, dm, dm, group)
+		for _, slot := range group {
+			pos := d.pos[slot]
+			kv := d.kv32[(bi*d.capacity+slot)*slotKV : (bi*d.capacity+slot+1)*slotKV]
+			kvRow := kv[pos*stride : (pos+1)*stride]
+			copy(kvRow[:dm], d.k32[slot*dm:(slot+1)*dm])
+			copy(kvRow[dm:], d.v32[slot*dm:(slot+1)*dm])
+			attendRowF32(d.att32[slot*dm:(slot+1)*dm], d.q32[slot*dm:(slot+1)*dm], kv,
+				pos+1, b.heads, dm, d.mAcc32[slot*heads:(slot+1)*heads], d.lAcc32[slot*heads:(slot+1)*heads])
+		}
+		tensor.MatVecGroupF32(d.tmp32, dm, b.wo.WT, b.wo.B, d.att32, dm, dm, dm, group)
+		for _, slot := range group {
+			x := d.x32[slot*dm : (slot+1)*dm]
+			tmp := d.tmp32[slot*dm : (slot+1)*dm]
+			for j := range x {
+				x[j] += tmp[j]
+			}
+		}
+
+		// Feed-forward sub-layer (pre-norm, residual): up-projection and
+		// GELU fused, both projections amortizing weights over the group.
+		for _, slot := range group {
+			layerNormRowF32(d.tmp32[slot*dm:(slot+1)*dm], d.x32[slot*dm:(slot+1)*dm], &b.ln2)
+		}
+		ffGeluGroupF32(d.ff32, mlpH, &b.ffIn, d.tmp32, dm, group)
+		tensor.MatVecGroupF32(d.tmp32, dm, b.ffOut.WT, b.ffOut.B, d.ff32, mlpH, mlpH, dm, group)
+		for _, slot := range group {
+			x := d.x32[slot*dm : (slot+1)*dm]
+			tmp := d.tmp32[slot*dm : (slot+1)*dm]
+			for j := range x {
+				x[j] += tmp[j]
+			}
+		}
+	}
+
+	for _, slot := range group {
+		layerNormRowF32(d.tmp32[slot*dm:(slot+1)*dm], d.x32[slot*dm:(slot+1)*dm], &inf.final)
+	}
+	mlpGroupF32(d.evOut32, v, d.hid32, d.hid232, hw, d.tmp32, dm, &inf.eventHd, group)
+	mlpGroupF32(d.iaOut32, iaW, d.hid32, d.hid232, hw, d.tmp32, dm, &inf.iaHd, group)
+	mlpGroupF32(d.stopOut32, 2, d.hid32, d.hid232, hw, d.tmp32, dm, &inf.stopHd, group)
+
+	for i := lo; i < hi; i++ {
+		slot := slots[i]
+		evOut := d.evOut[slot*v : (slot+1)*v]
+		iaOut := d.iaOut[slot*iaW : (slot+1)*iaW]
+		stopOut := d.stopOut[slot*2 : (slot+1)*2]
+		for j, val := range d.evOut32[slot*v : (slot+1)*v] {
+			evOut[j] = float64(val)
+		}
+		for j, val := range d.iaOut32[slot*iaW : (slot+1)*iaW] {
+			iaOut[j] = float64(val)
+		}
+		for j, val := range d.stopOut32[slot*2 : (slot+1)*2] {
+			stopOut[j] = float64(val)
+		}
+		d.fillOut(i, slot, evOut, iaOut, stopOut)
+		d.pos[slot]++
+	}
+}
+
+// fillOut assembles d.outs[i] from a slot's head-output regions (shared tail
+// of both precision paths).
+func (d *BatchDecoder) fillOut(i, slot int, evOut, iaOut, stopOut []float64) {
+	out := &d.outs[i]
+	out.EventLogits = evOut
+	out.IAMean = iaOut[0]
+	if d.m.Cfg.DistHead {
+		out.IALogStd = math.Min(math.Max(iaOut[1], -6), 2)
+	} else {
+		out.IALogStd = math.NaN()
+	}
+	out.StopLogits = [2]float64{stopOut[0], stopOut[1]}
 }

@@ -2,6 +2,7 @@ package cptgpt
 
 import (
 	"fmt"
+	"math"
 	"testing"
 
 	"cptgpt/internal/events"
@@ -133,7 +134,7 @@ func TestBatchDecoderMatchesDecoder(t *testing.T) {
 		t.Skip("not enough suitable streams in tiny dataset")
 	}
 
-	bd := m.NewBatchDecoder(len(encs))
+	bd := m.NewBatchDecoder(len(encs), F64)
 	serial := make([]*decoder, len(encs))
 	for i := range serial {
 		serial[i] = newDecoder(m)
@@ -164,6 +165,117 @@ func TestBatchDecoderMatchesDecoder(t *testing.T) {
 				t.Fatalf("slot %d step %d heads differ: got (%v %v %v), want (%v %v %v)",
 					slot, step, got.IAMean, got.IALogStd, got.StopLogits, want.IAMean, want.IALogStd, want.StopLogits)
 			}
+		}
+	}
+}
+
+// TestSlotRefillMidBatch is the regression test for the slot-reset contract
+// continuous batching relies on: a slot that retires mid-batch (its stream
+// ended) is ResetSlot and reseated with a fresh stream while the other slot
+// keeps decoding at a deeper position, and every output — before and after
+// the refill, in both precisions — must equal decoding each stream in a
+// decoder of its own. A stale score row, KV row or position after the reset
+// would show up here immediately.
+func TestSlotRefillMidBatch(t *testing.T) {
+	d := testTrainingData(t, 40)
+	tk := FitTokenizer(d)
+	m, err := NewModel(smallConfig(), tk)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dim := tk.Dim()
+
+	var encs []*tensor.Tensor
+	for i := range d.Streams {
+		if len(d.Streams[i].Events) >= 5 && len(d.Streams[i].Events) <= m.Cfg.MaxLen {
+			enc, _, err := tk.EncodeStream(&d.Streams[i])
+			if err != nil {
+				t.Fatal(err)
+			}
+			encs = append(encs, enc)
+			if len(encs) == 3 {
+				break
+			}
+		}
+	}
+	if len(encs) < 3 {
+		t.Skip("not enough suitable streams in tiny dataset")
+	}
+	a, bs, c := encs[0], encs[1], encs[2]
+	// Truncate A so it retires strictly before B, forcing a mid-batch refill.
+	aRows := min(3, bs.Rows-1)
+
+	for _, prec := range []Precision{F64, F32} {
+		// Reference: each stream decoded alone in a single-slot decoder of
+		// the same precision (bit-identical kernels, so exact equality).
+		ref := func(enc *tensor.Tensor, rows int) []StepOut {
+			rd := m.NewBatchDecoder(1, prec)
+			outs := make([]StepOut, rows)
+			for s := 0; s < rows; s++ {
+				o := rd.Step([]int{0}, enc.Data[s*dim:(s+1)*dim])[0]
+				o.EventLogits = append([]float64(nil), o.EventLogits...)
+				outs[s] = o
+			}
+			return outs
+		}
+		wantA := ref(a, aRows)
+		wantB := ref(bs, bs.Rows)
+		wantC := ref(c, c.Rows)
+
+		same := func(label string, got, want StepOut) {
+			t.Helper()
+			for k := range want.EventLogits {
+				if got.EventLogits[k] != want.EventLogits[k] {
+					t.Fatalf("%s %s: event logit %d = %v, want %v", prec, label, k, got.EventLogits[k], want.EventLogits[k])
+				}
+			}
+			sameNaN := math.IsNaN(got.IALogStd) && math.IsNaN(want.IALogStd)
+			if got.IAMean != want.IAMean || (got.IALogStd != want.IALogStd && !sameNaN) || got.StopLogits != want.StopLogits {
+				t.Fatalf("%s %s: heads differ: got (%v %v %v), want (%v %v %v)",
+					prec, label, got.IAMean, got.IALogStd, got.StopLogits, want.IAMean, want.IALogStd, want.StopLogits)
+			}
+		}
+
+		bd := m.NewBatchDecoder(2, prec)
+		toks := make([]float64, 2*dim)
+		// Phase 1: A in slot 0, B in slot 1, until A retires.
+		for s := 0; s < aRows; s++ {
+			copy(toks[0:dim], a.Data[s*dim:(s+1)*dim])
+			copy(toks[dim:2*dim], bs.Data[s*dim:(s+1)*dim])
+			outs := bd.Step([]int{0, 1}, toks)
+			same(fmt.Sprintf("A step %d", s), outs[0], wantA[s])
+			same(fmt.Sprintf("B step %d", s), outs[1], wantB[s])
+		}
+		// Refill: seat C in slot 0 while B keeps decoding at position aRows.
+		bd.ResetSlot(0)
+		if bd.Pos(0) != 0 || bd.Pos(1) != aRows {
+			t.Fatalf("%s: after ResetSlot(0): pos = (%d, %d), want (0, %d)", prec, bd.Pos(0), bd.Pos(1), aRows)
+		}
+		for s := 0; ; s++ {
+			var slots []int
+			if s < c.Rows {
+				slots = append(slots, 0)
+				copy(toks[0:dim], c.Data[s*dim:(s+1)*dim])
+			}
+			if aRows+s < bs.Rows {
+				slots = append(slots, 1)
+				copy(toks[dim:2*dim], bs.Data[(aRows+s)*dim:(aRows+s+1)*dim])
+			}
+			if len(slots) == 0 {
+				break
+			}
+			outs := bd.Step(slots, toks)
+			for j, slot := range slots {
+				if slot == 0 {
+					same(fmt.Sprintf("C step %d", s), outs[j], wantC[s])
+				} else {
+					same(fmt.Sprintf("B step %d", aRows+s), outs[j], wantB[aRows+s])
+				}
+			}
+		}
+		steps, slotSteps := bd.Stats()
+		if steps == 0 || slotSteps == 0 {
+			t.Fatalf("%s: Stats() = (%d, %d), want non-zero scheduling counters", prec, steps, slotSteps)
 		}
 	}
 }

@@ -1,6 +1,7 @@
 package cptgpt
 
 import (
+	"fmt"
 	"math"
 
 	"cptgpt/internal/nn"
@@ -146,9 +147,17 @@ func (d *decoder) step(token []float64) StepOut {
 
 // attendRow computes one stream's multi-head attention output for the newest
 // query row q against nPos cached key/value rows, writing into att (len dm).
-// scores must have capacity ≥ nPos. This is the shared row kernel of the
-// serial decoder and BatchDecoder, so both paths are bit-identical.
+// scores must have length ≥ nPos: the serial decoder and each BatchDecoder
+// slot own a MaxLen-sized scores region, and every caller bounds nPos by the
+// slot's own position (≤ MaxLen), so the check only fires if a slot is
+// stepped past MaxLen without ResetSlot — the invariant continuous batching
+// relies on when it seats a new stream in a retired slot. This is the shared
+// row kernel of the serial decoder and the F64 BatchDecoder path, so both
+// are bit-identical.
 func attendRow(att, q, kc, vc []float64, nPos, heads, dm int, scores []float64) {
+	if len(scores) < nPos {
+		panic(fmt.Sprintf("cptgpt: attendRow scores buffer has %d rows for %d cached positions (slot stepped past MaxLen without reset?)", len(scores), nPos))
+	}
 	dh := dm / heads
 	scale := 1 / math.Sqrt(float64(dh))
 	scores = scores[:nPos]

@@ -1,0 +1,211 @@
+package cptgpt
+
+import (
+	"math"
+
+	"cptgpt/internal/nn"
+	"cptgpt/internal/tensor"
+)
+
+// Fused float32 row kernels of the decode fast path. They mirror the float64
+// kernels in infer.go but trade bit-compatibility for throughput:
+//
+//   - attendRowF32 computes attention scores, the softmax and the weighted
+//     value sum in ONE pass over the interleaved KV cache (online softmax
+//     with running max/sum per head), instead of the three passes the
+//     float64 kernel makes. Every cached row is touched exactly once.
+//   - ffGeluRowF32 fuses the MLP up-projection matvec with the GELU, so the
+//     hidden activation is finished the moment its dot product is.
+//   - Linear layers run through tensor.MatVecF32 over transposed panels
+//     (unit-stride weight reads, 4-way unrolled accumulation).
+//
+// All loops are sequential with a fixed order, so F32 decoding is
+// deterministic — the per-precision half of the determinism contract.
+
+// negInf32 seeds the online-softmax running max.
+var negInf32 = float32(math.Inf(-1))
+
+// exp32 is the float32 exponential (computed via the float64 routine; the
+// argument is ≤ 0 by construction in the online softmax).
+func exp32(x float32) float32 {
+	return float32(math.Exp(float64(x)))
+}
+
+// tanh32 is a float32 tanh via the classic 13/6-degree rational minimax
+// approximation (the Eigen/XNNPACK fast-tanh polynomial), accurate to a few
+// float32 ULP over the clamped range — indistinguishable from math.Tanh at
+// float32 precision, at a fraction of its cost (no float64 round trip, no
+// table lookups; ~10 multiplies and one divide).
+func tanh32(x float32) float32 {
+	const clamp = 7.90531110763549805 // tanh(±clamp) rounds to ±1 in float32
+	if x > clamp {
+		x = clamp
+	} else if x < -clamp {
+		x = -clamp
+	}
+	const (
+		a1  = 4.89352455891786e-03
+		a3  = 6.37261928875436e-04
+		a5  = 1.48572235717979e-05
+		a7  = 5.12229709037114e-08
+		a9  = -8.60467152213735e-11
+		a11 = 2.00018790482477e-13
+		a13 = -2.76076847742355e-16
+		b0  = 4.89352518554385e-03
+		b2  = 2.26843463243900e-03
+		b4  = 1.18534705686654e-04
+		b6  = 1.19825839466702e-06
+	)
+	x2 := x * x
+	p := x * (a1 + x2*(a3+x2*(a5+x2*(a7+x2*(a9+x2*(a11+x2*a13))))))
+	q := b0 + x2*(b2+x2*(b4+x2*b6))
+	return p / q
+}
+
+// gelu32 is the tanh-form GELU at float32 precision (same formula as the
+// float64 gelu in infer.go, computed through tanh32).
+func gelu32(x float32) float32 {
+	const c = 0.7978845608028654
+	return 0.5 * x * (1 + tanh32(c*(x+0.044715*x*x*x)))
+}
+
+// attendRowF32 computes one stream's multi-head attention output for query q
+// against nPos cached positions, writing into att (len dm). kv is the slot's
+// interleaved cache: row t is kv[t*2*dm : (t+1)*2*dm], keys in the first dm
+// values, values in the second. mAcc and lAcc (len ≥ heads) carry the
+// per-head running max and normalizer of the online softmax.
+//
+// The kernel makes a single pass over the cache: for each position it reads
+// the KV row once, scores every head against the key half, and folds the
+// value half into the output with flash-attention-style rescaling when a new
+// max appears. One sweep of sequential memory per step is what makes long
+// contexts cheap.
+func attendRowF32(att, q, kv []float32, nPos, heads, dm int, mAcc, lAcc []float32) {
+	dh := dm / heads
+	scale := float32(1 / math.Sqrt(float64(dh)))
+	for h := 0; h < heads; h++ {
+		mAcc[h] = negInf32
+		lAcc[h] = 0
+	}
+	att = att[:dm]
+	for i := range att {
+		att[i] = 0
+	}
+	stride := 2 * dm
+	for t := 0; t < nPos; t++ {
+		row := kv[t*stride : (t+1)*stride]
+		k, v := row[:dm], row[dm:]
+		for h := 0; h < heads; h++ {
+			lo := h * dh
+			s := tensor.DotF32(q[lo:lo+dh], k[lo:lo+dh]) * scale
+			if s > mAcc[h] {
+				// New running max: rescale the accumulated sum and output.
+				c := exp32(mAcc[h] - s)
+				lAcc[h] *= c
+				for j := lo; j < lo+dh; j++ {
+					att[j] *= c
+				}
+				mAcc[h] = s
+			}
+			w := exp32(s - mAcc[h])
+			lAcc[h] += w
+			tensor.AxpyF32(att[lo:lo+dh], w, v[lo:lo+dh])
+		}
+	}
+	for h := 0; h < heads; h++ {
+		inv := 1 / lAcc[h]
+		for j := h * dh; j < (h+1)*dh; j++ {
+			att[j] *= inv
+		}
+	}
+}
+
+// layerNormRowF32 computes dst = LN(row) with l's gain and bias. The mean
+// and variance accumulate in float64 (scalar registers, effectively free)
+// to keep the normalization statistics tight.
+func layerNormRowF32(dst, row []float32, l *nn.LayerNormF32) {
+	n := float64(len(row))
+	var mu float64
+	for _, v := range row {
+		mu += float64(v)
+	}
+	mu /= n
+	var va float64
+	for _, v := range row {
+		d := float64(v) - mu
+		va += d * d
+	}
+	va /= n
+	m := float32(mu)
+	istd := float32(1 / math.Sqrt(va+l.Eps))
+	for i, v := range row {
+		dst[i] = (v-m)*istd*l.Gain[i] + l.Bias[i]
+	}
+}
+
+// ffGeluGroupF32 fuses the feed-forward up-projection with the GELU
+// activation for a whole slot group: dst row s gets gelu(bias + x_s·wT),
+// with the weight 4-row block as the outer loop (loaded once, L1-hot across
+// the group — the same cross-slot amortization as tensor.MatVecGroupF32)
+// and each hidden activation finished the moment its dot product is.
+// Per-row results are independent of the grouping.
+func ffGeluGroupF32(dst []float32, dstStride int, l *nn.LinearF32, x []float32, xStride int, group []int) {
+	in := l.In
+	j := 0
+	for ; j+4 <= l.Out; j += 4 {
+		w0 := l.WT[j*in : (j+1)*in]
+		w1 := l.WT[(j+1)*in : (j+2)*in]
+		w2 := l.WT[(j+2)*in : (j+3)*in]
+		w3 := l.WT[(j+3)*in : (j+4)*in]
+		b0, b1, b2, b3 := l.B[j], l.B[j+1], l.B[j+2], l.B[j+3]
+		for _, s := range group {
+			r0, r1, r2, r3 := tensor.Dot4F32(x[s*xStride:s*xStride+in], w0, w1, w2, w3)
+			d := dst[s*dstStride+j : s*dstStride+j+4]
+			d[0] = gelu32(b0 + r0)
+			d[1] = gelu32(b1 + r1)
+			d[2] = gelu32(b2 + r2)
+			d[3] = gelu32(b3 + r3)
+		}
+	}
+	for ; j < l.Out; j++ {
+		w0 := l.WT[j*in : (j+1)*in]
+		for _, s := range group {
+			dst[s*dstStride+j] = gelu32(l.B[j] + tensor.Dot1F32(x[s*xStride:s*xStride+in], w0))
+		}
+	}
+}
+
+// mlpGroupF32 applies an exported MLP (ReLU between layers) to a group of
+// slot-major rows, writing the final layer into dst. hid and hid2 (stride
+// hw) are ping-pong scratch wide enough for every intermediate layer; the
+// input rows are never modified. Every layer runs as a group matvec so
+// weight panels are read once per group.
+func mlpGroupF32(dst []float32, dstStride int, hid, hid2 []float32, hw int, x []float32, xStride int, m *nn.MLPF32, group []int) {
+	cur, curStride := x, xStride
+	last := len(m.Layers) - 1
+	for i := range m.Layers {
+		l := &m.Layers[i]
+		var next []float32
+		var nextStride int
+		switch {
+		case i == last:
+			next, nextStride = dst, dstStride
+		case i%2 == 0:
+			next, nextStride = hid, hw
+		default:
+			next, nextStride = hid2, hw
+		}
+		tensor.MatVecGroupF32(next, nextStride, l.WT, l.B, cur, curStride, l.In, l.Out, group)
+		if i != last {
+			for _, s := range group {
+				row := next[s*nextStride : s*nextStride+l.Out]
+				for j := range row {
+					if row[j] < 0 {
+						row[j] = 0
+					}
+				}
+			}
+		}
+		cur, curStride = next, nextStride
+	}
+}

@@ -120,6 +120,11 @@ type Model struct {
 	// InitialDist is the distribution of first-event types extracted from
 	// the training set and released with the model (§4.5).
 	InitialDist []float64
+
+	// infer caches the frozen float32 inference snapshot (see Infer). It is
+	// derived state — never serialized, dropped by Clone's rebuild, and
+	// invalidated by Train/FineTune after weight updates.
+	infer inferCache
 }
 
 // NewModel builds an initialized model for the tokenizer's vocabulary.

@@ -5,6 +5,7 @@ import (
 	"math"
 	"math/rand/v2"
 	"sync"
+	"sync/atomic"
 
 	"cptgpt/internal/events"
 	"cptgpt/internal/stats"
@@ -24,6 +25,12 @@ type GenOpts struct {
 	Seed uint64
 	// Temperature scales event/stop logits at sampling time (1 = faithful).
 	Temperature float64
+	// Precision selects the decode arithmetic. F64 (the default) is the
+	// bit-exact reference path; F32 decodes through the model's frozen
+	// float32 inference snapshot with fused kernels — about half the memory
+	// traffic of F64 — under its own per-seed determinism contract. For a
+	// fixed precision, output is identical at every Parallelism × BatchSize.
+	Precision Precision
 	// Parallelism bounds cross-stream decoding concurrency; 0 means the
 	// tensor-layer default (GOMAXPROCS, or tensor.SetParallelism's value).
 	// Output is identical at every setting: each stream's randomness comes
@@ -32,10 +39,15 @@ type GenOpts struct {
 	// Workers is a deprecated alias for Parallelism, honored when
 	// Parallelism is 0.
 	Workers int
-	// BatchSize is the number of streams decoded in lockstep per
-	// BatchDecoder batch; 0 means DefaultBatchSize. Output is identical at
-	// every batch size.
+	// BatchSize is the number of decode slots per BatchDecoder; 0 means
+	// DefaultBatchSize. Output is identical at every batch size.
 	BatchSize int
+	// Lockstep disables continuous slot refill: each batch of BatchSize
+	// streams is retired in full before the next batch starts, idling slots
+	// whose streams stopped early. This is the pre-continuous scheduler,
+	// kept as a benchmarking companion (see BenchmarkCPTGPTGenerateSkewed*);
+	// output is identical either way.
+	Lockstep bool
 	// StartWindow, when positive, offsets each stream's start uniformly in
 	// [0, StartWindow) seconds so downstream consumers (e.g. an MCN) do
 	// not see a synchronized t=0 attach storm. Interarrivals, sojourns and
@@ -68,11 +80,15 @@ func streamSeed(seed uint64, i int) uint64 {
 // distribution, with interarrival and stop flag zero (§4.5), and decoding
 // runs until the model emits a token with stop flag 1 or MaxLen is reached.
 //
-// Streams are decoded in lockstep batches of BatchSize through a shared-
-// cache BatchDecoder, and batches fan out across Parallelism workers. For a
-// fixed Seed the output is bit-identical at every Parallelism and BatchSize
-// (including the serial reference path), because every stream consumes only
-// its own index-seeded RNG and its own slice of the batch state.
+// Scheduling is continuous batching: every worker owns a BatchDecoder of
+// BatchSize slots and claims stream indices from a shared counter; the
+// moment a slot's stream emits STOP, the slot is reset and reseated with the
+// next pending stream, so all slots stay hot even under heavily skewed
+// stream-length distributions (GenOpts.Lockstep restores the retire-whole-
+// batch scheduler for comparison). For a fixed Seed and Precision the output
+// is bit-identical at every Parallelism, BatchSize and scheduling mode —
+// every stream consumes only its own index-seeded RNG and its own slot
+// state, so who decodes it when cannot matter.
 func (m *Model) Generate(opts GenOpts) (*trace.Dataset, error) {
 	if opts.NumStreams <= 0 {
 		return nil, fmt.Errorf("cptgpt: NumStreams must be positive, got %d", opts.NumStreams)
@@ -100,24 +116,37 @@ func (m *Model) Generate(opts GenOpts) (*trace.Dataset, error) {
 
 	streams := make([]trace.Stream, opts.NumStreams)
 	var wg sync.WaitGroup
-	jobs := make(chan int)
-	for w := 0; w < workers; w++ {
-		wg.Add(1)
-		go func() {
-			defer wg.Done()
-			// One decoder per worker, reused (Reset) across its batches.
-			dec := m.NewBatchDecoder(batch)
-			for bi := range jobs {
-				lo := bi * batch
-				hi := min(lo+batch, opts.NumStreams)
-				m.sampleBatch(dec, streams[lo:hi], lo, opts, init)
-			}
-		}()
+	if opts.Lockstep {
+		// Legacy scheduler: fixed index ranges, each batch retired in full.
+		jobs := make(chan int)
+		for w := 0; w < workers; w++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				// One decoder per worker, reused (Reset) across its batches.
+				dec := m.NewBatchDecoder(batch, opts.Precision)
+				for bi := range jobs {
+					lo := bi * batch
+					hi := min(lo+batch, opts.NumStreams)
+					m.sampleBatch(dec, streams[lo:hi], lo, opts, init)
+				}
+			}()
+		}
+		for bi := 0; bi < numBatches; bi++ {
+			jobs <- bi
+		}
+		close(jobs)
+	} else {
+		var next atomic.Int64
+		for w := 0; w < workers; w++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				dec := m.NewBatchDecoder(batch, opts.Precision)
+				m.sampleContinuous(dec, streams, 0, &next, opts, init)
+			}()
+		}
 	}
-	for bi := 0; bi < numBatches; bi++ {
-		jobs <- bi
-	}
-	close(jobs)
 	wg.Wait()
 
 	return &trace.Dataset{Generation: m.Cfg.Generation, Streams: streams}, nil
@@ -130,7 +159,7 @@ func (m *Model) Generate(opts GenOpts) (*trace.Dataset, error) {
 // its own index-seeded RNG, so chunked emission over any partition of the
 // index space reproduces one full run — the streaming scenario engine pulls
 // million-UE populations through this in O(chunk) memory, decoding each
-// chunk in lockstep through a BatchDecoder.
+// chunk through a continuously refilled BatchDecoder.
 func (m *Model) GenerateRange(lo, hi int, opts GenOpts) ([]trace.Stream, error) {
 	if lo < 0 || hi < lo {
 		return nil, fmt.Errorf("cptgpt: invalid stream range [%d,%d)", lo, hi)
@@ -154,17 +183,145 @@ func (m *Model) GenerateRange(lo, hi int, opts GenOpts) ([]trace.Stream, error) 
 		return nil, fmt.Errorf("cptgpt: invalid initial-event distribution: %w", err)
 	}
 	streams := make([]trace.Stream, n)
-	dec := m.NewBatchDecoder(batch)
-	for blo := 0; blo < n; blo += batch {
-		bhi := min(blo+batch, n)
-		m.sampleBatch(dec, streams[blo:bhi], lo+blo, opts, init)
+	dec := m.NewBatchDecoder(batch, opts.Precision)
+	if opts.Lockstep {
+		for blo := 0; blo < n; blo += batch {
+			bhi := min(blo+batch, n)
+			m.sampleBatch(dec, streams[blo:bhi], lo+blo, opts, init)
+		}
+	} else {
+		var next atomic.Int64
+		m.sampleContinuous(dec, streams, lo, &next, opts, init)
 	}
 	return streams, nil
 }
 
+// sampleStep draws one decode step's fields from the head outputs: the next
+// event index, the scaled interarrival (Gaussian-sampled under DistHead,
+// deterministic scalar in the Table 8 ablation) and the stop flag. It is
+// the single copy of the per-token RNG draw order that the serial,
+// lockstep and continuous schedulers all share — the bit-identical-output
+// contract between them is exactly "same draws in the same order", so this
+// helper is the only place that order may be defined.
+func (m *Model) sampleStep(so StepOut, temp float64, rng *rand.Rand, probs []float64) (nextEv int, scaled float64, stopIdx int) {
+	nextEv = sampleLogitsInto(so.EventLogits, temp, rng, probs)
+	if m.Cfg.DistHead {
+		std := math.Exp(so.IALogStd)
+		scaled = so.IAMean + std*rng.NormFloat64()
+	} else {
+		// Ablation (Table 8, "No dist. pred."): deterministic scalar.
+		scaled = so.IAMean
+	}
+	scaled = math.Min(math.Max(scaled, 0), 1)
+	stopIdx = sampleLogitsInto(so.StopLogits[:], temp, rng, probs)
+	return nextEv, scaled, stopIdx
+}
+
+// sampleContinuous decodes the streams of out (global indices baseIdx+i)
+// through dec with continuous batching: slots are seated by claiming the
+// next unclaimed index from next (shared across all workers of a Generate
+// call), and the moment a slot's stream stops — STOP token or MaxLen — the
+// slot is reset and reseated with a fresh claim instead of idling until the
+// rest of the batch drains. Per-stream output is invariant to seating: a
+// stream's events depend only on its own index-seeded RNG and its own slot
+// region, which is why continuous and lockstep scheduling emit bit-identical
+// datasets.
+func (m *Model) sampleContinuous(dec *BatchDecoder, out []trace.Stream, baseIdx int, next *atomic.Int64, opts GenOpts, init *stats.Categorical) {
+	capacity := dec.Capacity()
+	dim := m.Tok.Dim()
+	vocab := m.Tok.Vocab()
+	total := int64(len(out))
+
+	rngs := make([]*rand.Rand, capacity)
+	times := make([]float64, capacity)
+	cur := make([]int, capacity) // stream index (into out) seated in each slot
+	toks := make([]float64, capacity*dim)
+	probs := make([]float64, m.Tok.V())
+
+	// claim returns the next unclaimed stream index, or -1 when the
+	// population is exhausted.
+	claim := func() int {
+		if i := next.Add(1) - 1; i < total {
+			return int(i)
+		}
+		return -1
+	}
+
+	// seat boots stream li into slot: reset the slot, bootstrap the stream
+	// exactly as the serial reference path does (same RNG draws in the same
+	// order), and report whether the stream still needs decode steps.
+	seat := func(slot, li int) bool {
+		dec.ResetSlot(slot)
+		rng := stats.NewRand(streamSeed(opts.Seed, baseIdx+li))
+		rngs[slot] = rng
+		cur[slot] = li
+		s := &out[li]
+		s.UEID = fmt.Sprintf("gen-%s-%06d", opts.Device, baseIdx+li)
+		s.Device = opts.Device
+
+		evIdx := init.Sample(rng)
+		m.Tok.writeToken(toks[slot*dim:(slot+1)*dim], evIdx, 0, 0)
+		times[slot] = 0
+		if opts.StartWindow > 0 {
+			times[slot] = rng.Float64() * opts.StartWindow
+		}
+		s.Events = append(s.Events, trace.Event{Time: times[slot], Type: vocab[evIdx]})
+		return len(s.Events) < m.Cfg.MaxLen
+	}
+
+	// refill claims streams into slot until one needs decoding; it returns
+	// false when the population is exhausted.
+	refill := func(slot int) bool {
+		for {
+			li := claim()
+			if li < 0 {
+				return false
+			}
+			if seat(slot, li) {
+				return true
+			}
+		}
+	}
+
+	active := make([]int, 0, capacity)
+	for slot := 0; slot < capacity; slot++ {
+		if !refill(slot) {
+			break
+		}
+		active = append(active, slot)
+	}
+
+	keep := make([]int, 0, capacity)
+	for len(active) > 0 {
+		outs := dec.Step(active, toks)
+		keep = keep[:0]
+		for j, slot := range active {
+			rng := rngs[slot]
+			s := &out[cur[slot]]
+
+			nextEv, scaled, stopIdx := m.sampleStep(outs[j], opts.Temperature, rng, probs)
+			times[slot] += m.Tok.UnscaleIA(scaled)
+			s.Events = append(s.Events, trace.Event{Time: times[slot], Type: vocab[nextEv]})
+			if stopIdx != 1 && len(s.Events) < m.Cfg.MaxLen {
+				m.Tok.writeToken(toks[slot*dim:(slot+1)*dim], nextEv, scaled, stopIdx)
+				keep = append(keep, slot)
+				continue
+			}
+			// Stream finished: reseat the slot immediately so it decodes a
+			// pending stream on the very next Step.
+			if refill(slot) {
+				keep = append(keep, slot)
+			}
+		}
+		active, keep = keep, active
+	}
+}
+
 // sampleBatch decodes len(out) UE streams (global indices baseIdx+i) in
 // lockstep through dec. Streams leave the active set as they emit stop
-// flags; the batch finishes when every stream has stopped or hit MaxLen.
+// flags; the batch finishes when every stream has stopped or hit MaxLen —
+// retired slots idle until then, which is what GenOpts.Lockstep exists to
+// measure against continuous batching.
 func (m *Model) sampleBatch(dec *BatchDecoder, out []trace.Stream, baseIdx int, opts GenOpts, init *stats.Categorical) {
 	n := len(out)
 	dec.Reset()
@@ -202,24 +359,11 @@ func (m *Model) sampleBatch(dec *BatchDecoder, out []trace.Stream, baseIdx int, 
 		outs := dec.Step(active, toks)
 		next = next[:0]
 		for j, slot := range active {
-			so := outs[j]
 			rng := rngs[slot]
 			s := &out[slot]
 
-			nextEv := sampleLogitsInto(so.EventLogits, opts.Temperature, rng, probs)
-			var scaled float64
-			if m.Cfg.DistHead {
-				std := math.Exp(so.IALogStd)
-				scaled = so.IAMean + std*rng.NormFloat64()
-			} else {
-				// Ablation (Table 8, "No dist. pred."): deterministic scalar.
-				scaled = so.IAMean
-			}
-			scaled = math.Min(math.Max(scaled, 0), 1)
-			ia := m.Tok.UnscaleIA(scaled)
-			stopIdx := sampleLogitsInto(so.StopLogits[:], opts.Temperature, rng, probs)
-
-			times[slot] += ia
+			nextEv, scaled, stopIdx := m.sampleStep(outs[j], opts.Temperature, rng, probs)
+			times[slot] += m.Tok.UnscaleIA(scaled)
 			s.Events = append(s.Events, trace.Event{Time: times[slot], Type: vocab[nextEv]})
 			if stopIdx == 1 || len(s.Events) >= m.Cfg.MaxLen {
 				continue
@@ -246,6 +390,7 @@ func (m *Model) sampleStream(idx int, opts GenOpts, init *stats.Categorical, rng
 	// Bootstrap token: sampled initial event, interarrival 0, stop 0.
 	evIdx := init.Sample(rng)
 	tok := make([]float64, m.Tok.Dim())
+	probs := make([]float64, m.Tok.V())
 	m.Tok.writeToken(tok, evIdx, 0, 0)
 	t := 0.0
 	if opts.StartWindow > 0 {
@@ -254,22 +399,8 @@ func (m *Model) sampleStream(idx int, opts GenOpts, init *stats.Categorical, rng
 	s.Events = append(s.Events, trace.Event{Time: t, Type: vocab[evIdx]})
 
 	for len(s.Events) < m.Cfg.MaxLen {
-		out := dec.step(tok)
-
-		nextEv := sampleLogits(out.EventLogits, opts.Temperature, rng)
-		var scaled float64
-		if m.Cfg.DistHead {
-			std := math.Exp(out.IALogStd)
-			scaled = out.IAMean + std*rng.NormFloat64()
-		} else {
-			// Ablation (Table 8, "No dist. pred."): deterministic scalar.
-			scaled = out.IAMean
-		}
-		scaled = math.Min(math.Max(scaled, 0), 1)
-		ia := m.Tok.UnscaleIA(scaled)
-		stopIdx := sampleLogits(out.StopLogits[:], opts.Temperature, rng)
-
-		t += ia
+		nextEv, scaled, stopIdx := m.sampleStep(dec.step(tok), opts.Temperature, rng, probs)
+		t += m.Tok.UnscaleIA(scaled)
 		s.Events = append(s.Events, trace.Event{Time: t, Type: vocab[nextEv]})
 		if stopIdx == 1 {
 			break
@@ -279,24 +410,46 @@ func (m *Model) sampleStream(idx int, opts GenOpts, init *stats.Categorical, rng
 	return s
 }
 
-// sampleLogits draws an index from softmax(logits / temperature).
-func sampleLogits(logits []float64, temp float64, rng *rand.Rand) int {
-	return sampleLogitsInto(logits, temp, rng, make([]float64, len(logits)))
-}
+// expUnderflow is math.Exp's underflow threshold: for arguments strictly
+// below it Exp returns exactly 0, so the call can be skipped without
+// changing a single bit of the result.
+const expUnderflow = -7.45133219101941108420e+02
 
 // sampleLogitsInto is sampleLogits with caller-provided probability scratch
-// (len(probs) ≥ len(logits)).
+// (len(probs) ≥ len(logits)). It max-shifts the logits before
+// exponentiating and early-exits the math.Exp call for entries so far below
+// the max that Exp underflows to zero anyway — when one candidate dominates
+// (the common case for the 2-way stop head late in a stream), most of the
+// vocabulary skips the transcendental entirely. The temperature division is
+// elided at temp == 1 (faithful sampling, the default), which is exact.
+// Results are bit-identical to the straightforward implementation; the
+// regression test pins sampled indices against it.
 func sampleLogitsInto(logits []float64, temp float64, rng *rand.Rand, probs []float64) int {
 	maxv := math.Inf(-1)
-	for _, v := range logits {
-		if v/temp > maxv {
-			maxv = v / temp
+	if temp == 1 {
+		for _, v := range logits {
+			if v > maxv {
+				maxv = v
+			}
+		}
+	} else {
+		for _, v := range logits {
+			if v/temp > maxv {
+				maxv = v / temp
+			}
 		}
 	}
 	var sum float64
 	probs = probs[:len(logits)]
 	for i, v := range logits {
-		p := math.Exp(v/temp - maxv)
+		z := v - maxv
+		if temp != 1 {
+			z = v/temp - maxv
+		}
+		var p float64
+		if z >= expUnderflow {
+			p = math.Exp(z)
+		}
 		probs[i] = p
 		sum += p
 	}

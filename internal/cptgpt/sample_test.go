@@ -1,0 +1,80 @@
+package cptgpt
+
+import (
+	"math"
+	"math/rand/v2"
+	"testing"
+
+	"cptgpt/internal/stats"
+)
+
+// sampleLogitsRef is the pre-optimization sampleLogitsInto, kept verbatim as
+// the reference the micro-optimized version (max-shift hoisting, exp
+// underflow early-exit, temp==1 division elision) must match bit-for-bit:
+// same sampled index AND same RNG consumption for every input.
+func sampleLogitsRef(logits []float64, temp float64, rng *rand.Rand, probs []float64) int {
+	maxv := math.Inf(-1)
+	for _, v := range logits {
+		if v/temp > maxv {
+			maxv = v / temp
+		}
+	}
+	var sum float64
+	probs = probs[:len(logits)]
+	for i, v := range logits {
+		p := math.Exp(v/temp - maxv)
+		probs[i] = p
+		sum += p
+	}
+	u := rng.Float64() * sum
+	for i, p := range probs {
+		u -= p
+		if u < 0 {
+			return i
+		}
+	}
+	return len(logits) - 1
+}
+
+// TestSampleLogitsIntoMatchesReference drives both implementations with
+// identical RNG streams over adversarial logit vectors — dominated
+// candidates deep in exp-underflow territory, ties, flat vectors, extreme
+// temperatures — and requires identical sampled indices at every draw.
+func TestSampleLogitsIntoMatchesReference(t *testing.T) {
+	vectors := [][]float64{
+		{0.3, -0.2},
+		{1, 1, 1, 1, 1},
+		{500, -500, -500, -500},         // dominated: all others underflow
+		{-1000, -999.5, -1000.25},       // large magnitudes, small gaps
+		{0, -800, 3, -1e6, 2.999999999}, // near-tie plus hard underflow
+		{math.Inf(-1), 0, math.Inf(-1)}, // masked-out candidates
+	}
+	rngA := stats.NewRand(42)
+	rngB := stats.NewRand(42)
+	gen := stats.NewRand(7)
+	for trial := 0; trial < 200; trial++ {
+		n := 2 + gen.IntN(12)
+		v := make([]float64, n)
+		for i := range v {
+			v[i] = gen.NormFloat64() * math.Pow(10, float64(gen.IntN(4)))
+		}
+		vectors = append(vectors, v)
+	}
+	probsA := make([]float64, 32)
+	probsB := make([]float64, 32)
+	for vi, v := range vectors {
+		for _, temp := range []float64{1, 0.25, 0.7, 3} {
+			for draw := 0; draw < 8; draw++ {
+				want := sampleLogitsRef(v, temp, rngA, probsA)
+				got := sampleLogitsInto(v, temp, rngB, probsB)
+				if got != want {
+					t.Fatalf("vector %d %v temp %v draw %d: sampled %d, reference %d", vi, v, temp, draw, got, want)
+				}
+			}
+		}
+	}
+	// The two RNGs must remain in lockstep (same number of draws consumed).
+	if a, b := rngA.Float64(), rngB.Float64(); a != b {
+		t.Fatalf("RNG streams diverged: %v vs %v", a, b)
+	}
+}

@@ -1,0 +1,75 @@
+package cptgpt
+
+import (
+	"sync/atomic"
+	"testing"
+
+	"cptgpt/internal/events"
+	"cptgpt/internal/stats"
+	"cptgpt/internal/synthetic"
+	"cptgpt/internal/tensor"
+	"cptgpt/internal/trace"
+)
+
+// Scheduling benchmarks with the slot-utilization metric the public
+// (root-package) benchmarks cannot see: they drive sampleContinuous /
+// sampleBatch directly over one decoder and report
+// slotSteps / (steps × capacity) from BatchDecoder.Stats — the fraction of
+// the decoder's lockstep bandwidth doing useful work. On skewed
+// stream-length populations lockstep drains each batch down to its longest
+// stream (utilization falls with every retirement); continuous batching
+// reseats retired slots immediately.
+
+func benchScheduling(b *testing.B, lockstep bool) {
+	b.Helper()
+	prevPar := tensor.SetParallelism(1)
+	defer tensor.SetParallelism(prevPar)
+
+	d, err := synthetic.Generate(synthetic.Config{
+		Generation: events.Gen4G, Seed: 12,
+		UEs: map[events.DeviceType]int{events.Phone: 30}, Hours: 1, StartHour: 10,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	// Untrained model: the stop head fires near-geometrically, the skewed
+	// stream-length regime where scheduling matters.
+	m, err := NewModel(smallConfig(), FitTokenizer(d))
+	if err != nil {
+		b.Fatal(err)
+	}
+	init, err := stats.NewCategorical(m.InitialDist)
+	if err != nil {
+		b.Fatal(err)
+	}
+	const slots = 32
+	opts := GenOpts{NumStreams: 512, Device: events.Phone, Seed: 9, Temperature: 1}
+	dec := m.NewBatchDecoder(slots, F64)
+	streams := make([]trace.Stream, opts.NumStreams)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for j := range streams {
+			streams[j] = trace.Stream{}
+		}
+		if lockstep {
+			for lo := 0; lo < len(streams); lo += slots {
+				m.sampleBatch(dec, streams[lo:min(lo+slots, len(streams))], lo, opts, init)
+			}
+		} else {
+			var next atomic.Int64
+			m.sampleContinuous(dec, streams, 0, &next, opts, init)
+		}
+	}
+	b.StopTimer()
+	steps, slotSteps := dec.Stats()
+	b.ReportMetric(100*float64(slotSteps)/(float64(steps)*slots), "util%")
+	b.ReportMetric(float64(b.Elapsed().Nanoseconds())/float64(b.N*opts.NumStreams), "ns/stream")
+}
+
+// BenchmarkSchedulingContinuous reports continuous batching's utilization
+// and per-stream cost on the skewed population.
+func BenchmarkSchedulingContinuous(b *testing.B) { benchScheduling(b, false) }
+
+// BenchmarkSchedulingLockstep is the retire-whole-batch companion over the
+// identical (bit-identical output) population.
+func BenchmarkSchedulingLockstep(b *testing.B) { benchScheduling(b, true) }

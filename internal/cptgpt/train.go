@@ -91,6 +91,11 @@ func Train(m *Model, d *trace.Dataset, opts TrainOpts) (*TrainResult, error) {
 	if d.Generation != m.Cfg.Generation {
 		return nil, fmt.Errorf("cptgpt: dataset generation %s does not match model %s", d.Generation, m.Cfg.Generation)
 	}
+	// Training rewrites the weights, so any frozen float32 inference
+	// snapshot is stale from here on; drop it now and again on exit so the
+	// next F32 decode re-freezes the trained parameters.
+	m.InvalidateInfer()
+	defer m.InvalidateInfer()
 	epochs := m.Cfg.Epochs
 	if opts.Epochs > 0 {
 		epochs = opts.Epochs
@@ -259,6 +264,12 @@ func Train(m *Model, d *trace.Dataset, opts TrainOpts) (*TrainResult, error) {
 		meanLoss := lossSum / float64(len(order))
 		res.EpochLoss = append(res.EpochLoss, meanLoss)
 		res.Epochs = epoch + 1
+		// The epoch's optimizer steps rewrote the weights, so a float32
+		// snapshot a previous epoch's callback froze is stale — drop it
+		// before this epoch's callbacks can decode through it.
+		if opts.OnEpoch != nil || opts.Probe != nil {
+			m.InvalidateInfer()
+		}
 		if opts.OnEpoch != nil {
 			tensor.ArenaDetached(func() { opts.OnEpoch(epoch, meanLoss) })
 		}

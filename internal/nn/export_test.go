@@ -1,0 +1,47 @@
+package nn
+
+import (
+	"testing"
+
+	"cptgpt/internal/stats"
+)
+
+func TestLinearExportF32Transposes(t *testing.T) {
+	rng := stats.NewRand(5)
+	l := NewLinear(7, 4, rng)
+	e := l.ExportF32()
+	if e.In != 7 || e.Out != 4 || len(e.WT) != 28 || len(e.B) != 4 {
+		t.Fatalf("bad export shape: %+v", e)
+	}
+	for k := 0; k < e.In; k++ {
+		for j := 0; j < e.Out; j++ {
+			if e.WT[j*e.In+k] != float32(l.W.Data[k*e.Out+j]) {
+				t.Fatalf("WT[%d,%d] = %v, want float32(W[%d,%d]) = %v",
+					j, k, e.WT[j*e.In+k], k, j, float32(l.W.Data[k*e.Out+j]))
+			}
+		}
+	}
+	// Snapshot must not alias the live parameters.
+	before := e.WT[0]
+	l.W.Data[0] += 1
+	if e.WT[0] != before {
+		t.Fatal("export aliases live weights")
+	}
+}
+
+func TestLayerNormAndMLPExportF32(t *testing.T) {
+	rng := stats.NewRand(6)
+	ln := NewLayerNorm(5)
+	ln.Gain.Data[2] = 1.5
+	ln.Bias.Data[3] = -0.25
+	le := ln.ExportF32()
+	if le.Eps != ln.Eps || le.Gain[2] != 1.5 || le.Bias[3] != -0.25 {
+		t.Fatalf("layer norm export mismatch: %+v", le)
+	}
+
+	m := NewMLP(rng, 6, 8, 3)
+	me := m.ExportF32()
+	if len(me.Layers) != 2 || me.Layers[0].In != 6 || me.Layers[0].Out != 8 || me.Layers[1].Out != 3 {
+		t.Fatalf("mlp export shape mismatch: %+v", me)
+	}
+}

@@ -9,6 +9,7 @@ import (
 	"strings"
 	"testing"
 
+	"cptgpt/internal/cptgpt"
 	"cptgpt/internal/events"
 	"cptgpt/internal/mcn"
 	"cptgpt/internal/trace"
@@ -89,6 +90,11 @@ func TestSpecValidation(t *testing.T) {
 		{"amplify factor<1", func(s *Spec) { s.Ops[2].Factor = 0.5 }},
 		{"compress factor<=1", func(s *Spec) { s.Ops[1].Factor = 1 }},
 		{"cptgpt no model", func(s *Spec) { s.Sources[0].Kind = "cptgpt"; s.Sources[0].ModelFile = "" }},
+		{"cptgpt bad precision", func(s *Spec) {
+			s.Sources[0].Kind = "cptgpt"
+			s.Sources[0].ModelFile = "m.bin"
+			s.Sources[0].Precision = "f16"
+		}},
 	}
 	for _, tc := range bad {
 		s := base()
@@ -334,6 +340,50 @@ func TestDeterministicAcrossParallelismAndBatch(t *testing.T) {
 				}
 			}
 		}
+	}
+}
+
+// TestCPTGPTSourcePrecision runs a cptgpt-model source end-to-end through
+// the streaming pipeline at both decode precisions: the spec-declared "f32"
+// fast path must be deterministic across Parallelism × BatchSize, and
+// RunOpts.Precision must override the spec run-wide.
+func TestCPTGPTSourcePrecision(t *testing.T) {
+	cfg := cptgpt.DefaultConfig()
+	cfg.DModel = 16
+	cfg.Heads = 2
+	cfg.MLPHidden = 32
+	cfg.HeadHidden = 16
+	cfg.MaxLen = 40
+	tk := cptgpt.Tokenizer{Gen: events.Gen4G, MinLog: 0, MaxLog: 5, LogScale: true}
+	m, err := cptgpt.NewModel(cfg, tk)
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(t.TempDir(), "m.bin")
+	if err := m.SaveFile(path); err != nil {
+		t.Fatal(err)
+	}
+	spec := &Spec{
+		Name: "precision-test", Generation: "4G", Seed: 3, HorizonSec: 600, Population: 50,
+		Sources: []SourceSpec{{ID: "gpt", Kind: "cptgpt", ModelFile: path, Share: 1, Precision: "f32"}},
+	}
+	if err := spec.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	f32a := drainAll(t, spec, RunOpts{})
+	if len(f32a) == 0 {
+		t.Fatal("f32 scenario emitted no events")
+	}
+	f32b := drainAll(t, spec, RunOpts{Parallelism: 2, BatchSize: 8})
+	if !reflect.DeepEqual(f32a, f32b) {
+		t.Fatal("f32 scenario output differs across Parallelism × BatchSize")
+	}
+	f64evs := drainAll(t, spec, RunOpts{Precision: "f64"})
+	if len(f64evs) == 0 {
+		t.Fatal("f64-override scenario emitted no events")
+	}
+	if _, err := spec.Open(RunOpts{Precision: "f16"}); err == nil {
+		t.Fatal("bad RunOpts.Precision must error")
 	}
 }
 

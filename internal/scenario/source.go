@@ -121,10 +121,23 @@ func resolveSources(spec *Spec, opts RunOpts, total int) ([]boundSource, error) 
 					return nil, fmt.Errorf("scenario: source %q: %w", src.ID, err)
 				}
 			}
+			// Decode precision: the source's declared setting, overridden
+			// run-wide by RunOpts.Precision (how a spec written for the
+			// bit-exact path scales up through the f32 fast path without
+			// editing the file).
+			precSpec := src.Precision
+			if opts.Precision != "" {
+				precSpec = opts.Precision
+			}
+			prec, err := cptgpt.ParsePrecision(precSpec)
+			if err != nil {
+				return nil, fmt.Errorf("scenario: source %q: %w", src.ID, err)
+			}
 			genOpts := cptgpt.GenOpts{
 				Device:      dev,
 				Seed:        sourceSeed(spec, i),
 				Temperature: src.Temperature,
+				Precision:   prec,
 				BatchSize:   opts.decodeBatch(),
 				// Spread stream starts over the horizon; ramp ops can
 				// re-stage populations on top of this.

@@ -62,8 +62,9 @@ type RunOpts struct {
 	Parallelism int
 	// BatchSize is the number of UE streams generated, transformed and
 	// spilled per chunk — the unit the pipeline's peak memory scales with;
-	// 0 means DefaultChunkStreams. CPT-GPT sources decode each chunk in
-	// lockstep sub-batches of min(BatchSize, cptgpt.DefaultBatchSize).
+	// 0 means DefaultChunkStreams. CPT-GPT sources decode each chunk
+	// through a continuously refilled BatchDecoder of
+	// min(BatchSize, cptgpt.DefaultBatchSize) slots.
 	// Output is identical at every setting.
 	BatchSize int
 	// TempDir hosts the spill run files ("" = the system temp dir). Every
@@ -73,6 +74,12 @@ type RunOpts struct {
 	// buffer memory); runs beyond it are merged hierarchically. 0 means
 	// DefaultMaxFanIn.
 	MaxFanIn int
+	// Precision overrides every cptgpt source's decode arithmetic for this
+	// run: "f64" (bit-exact reference) or "f32" (the fused float32 fast
+	// path, ~half the decode memory traffic). "" keeps each source's own
+	// spec setting. Output is deterministic per precision: for a fixed
+	// precision it is identical at every Parallelism × BatchSize.
+	Precision string
 	// Sources binds custom generators to spec source IDs (required for
 	// kind "custom", optional override for any other kind).
 	Sources map[string]ChunkFunc
@@ -95,9 +102,9 @@ func (o RunOpts) chunkStreams() int {
 	return DefaultChunkStreams
 }
 
-// decodeBatch bounds the CPT-GPT lockstep decode batch: the chunk size,
-// capped at the decoder default so a large spill chunk does not inflate the
-// shared KV cache.
+// decodeBatch bounds the CPT-GPT decode batch (the BatchDecoder's slot
+// count): the chunk size, capped at the decoder default so a large spill
+// chunk does not inflate the shared KV cache.
 func (o RunOpts) decodeBatch() int {
 	return min(o.chunkStreams(), cptgpt.DefaultBatchSize)
 }

@@ -1,0 +1,215 @@
+package tensor
+
+// Float32 row kernels backing the CPT-GPT decode fast path. Generation at
+// scale is memory-bandwidth bound: every decode step streams the full weight
+// set and the KV cache through the core once per stream, so halving the
+// element width roughly halves the traffic. These kernels are scalar Go but
+// written for instruction-level parallelism (independent partial
+// accumulators, contiguous panel access); their accumulation order is fixed,
+// so results are deterministic for a given input regardless of the worker
+// pool's degree — the same contract the float64 kernels keep.
+
+// DotF32 returns the dot product of a and b over len(a) elements, b must be
+// at least as long. Accumulation runs in eight independent partial sums
+// (scalar FP add/mul chains are latency-bound, so independent accumulators
+// are what keep the ports busy) combined pairwise at the end; the order is
+// fixed, so the result is deterministic (though not equal to a
+// single-accumulator reduction).
+func DotF32(a, b []float32) float32 {
+	n := len(a)
+	b = b[:n]
+	var s0, s1, s2, s3, s4, s5, s6, s7 float32
+	i := 0
+	for ; i+8 <= n; i += 8 {
+		s0 += a[i] * b[i]
+		s1 += a[i+1] * b[i+1]
+		s2 += a[i+2] * b[i+2]
+		s3 += a[i+3] * b[i+3]
+		s4 += a[i+4] * b[i+4]
+		s5 += a[i+5] * b[i+5]
+		s6 += a[i+6] * b[i+6]
+		s7 += a[i+7] * b[i+7]
+	}
+	for ; i < n; i++ {
+		s0 += a[i] * b[i]
+	}
+	return ((s0 + s1) + (s2 + s3)) + ((s4 + s5) + (s6 + s7))
+}
+
+// Dot4F32 computes the dot products of x against four weight rows in one
+// sweep — the 4-row register block of MatVecF32. Each x element is loaded
+// once for all four rows, and each row accumulates in two chains of paired
+// multiply-adds (eight independent chains total), which is where the scalar
+// FP ports saturate on this loop shape. The accumulation order is fixed, so
+// results are deterministic.
+func Dot4F32(x, w0, w1, w2, w3 []float32) (r0, r1, r2, r3 float32) {
+	n := len(x)
+	w0 = w0[:n]
+	w1 = w1[:n]
+	w2 = w2[:n]
+	w3 = w3[:n]
+	var a0, a1, b0, b1, c0, c1, d0, d1 float32
+	i := 0
+	for ; i+4 <= n; i += 4 {
+		x0, x1, x2, x3 := x[i], x[i+1], x[i+2], x[i+3]
+		a0 += x0*w0[i] + x2*w0[i+2]
+		a1 += x1*w0[i+1] + x3*w0[i+3]
+		b0 += x0*w1[i] + x2*w1[i+2]
+		b1 += x1*w1[i+1] + x3*w1[i+3]
+		c0 += x0*w2[i] + x2*w2[i+2]
+		c1 += x1*w2[i+1] + x3*w2[i+3]
+		d0 += x0*w3[i] + x2*w3[i+2]
+		d1 += x1*w3[i+1] + x3*w3[i+3]
+	}
+	for ; i < n; i++ {
+		a0 += x[i] * w0[i]
+		b0 += x[i] * w1[i]
+		c0 += x[i] * w2[i]
+		d0 += x[i] * w3[i]
+	}
+	return a0 + a1, b0 + b1, c0 + c1, d0 + d1
+}
+
+// Dot2F32 computes the dot products of x against two weight rows in one
+// sweep — the 2-row tail block of MatVecF32. Each x element is loaded
+// once for both rows, with four accumulator chains per row.
+func Dot2F32(x, w0, w1 []float32) (r0, r1 float32) {
+	n := len(x)
+	w0 = w0[:n]
+	w1 = w1[:n]
+	var a0, a1, a2, a3 float32
+	var b0, b1, b2, b3 float32
+	i := 0
+	for ; i+4 <= n; i += 4 {
+		x0, x1, x2, x3 := x[i], x[i+1], x[i+2], x[i+3]
+		a0 += x0 * w0[i]
+		a1 += x1 * w0[i+1]
+		a2 += x2 * w0[i+2]
+		a3 += x3 * w0[i+3]
+		b0 += x0 * w1[i]
+		b1 += x1 * w1[i+1]
+		b2 += x2 * w1[i+2]
+		b3 += x3 * w1[i+3]
+	}
+	for ; i < n; i++ {
+		a0 += x[i] * w0[i]
+		b0 += x[i] * w1[i]
+	}
+	return (a0 + a1) + (a2 + a3), (b0 + b1) + (b2 + b3)
+}
+
+// Dot1F32 is the odd-row tail of MatVecF32, matching Dot2F32's per-row
+// reduction order (4-wide).
+func Dot1F32(x, w []float32) float32 {
+	n := len(x)
+	w = w[:n]
+	var a0, a1, a2, a3 float32
+	i := 0
+	for ; i+4 <= n; i += 4 {
+		a0 += x[i] * w[i]
+		a1 += x[i+1] * w[i+1]
+		a2 += x[i+2] * w[i+2]
+		a3 += x[i+3] * w[i+3]
+	}
+	for ; i < n; i++ {
+		a0 += x[i] * w[i]
+	}
+	return (a0 + a1) + (a2 + a3)
+}
+
+// MatVecF32 computes dst[j] = bias[j] + x·wT[j] for j in [0, out), where wT
+// is a transposed (out×in, row-major) weight panel: output j's weights are
+// the contiguous row wT[j*in : (j+1)*in]. The dot-product form reads each
+// weight exactly once with unit stride, and outputs are produced in 4-row
+// register blocks so every x load feeds four rows' accumulation chains —
+// the matvec shape the decode fast path is built from.
+func MatVecF32(dst, wT, bias, x []float32, in, out int) {
+	dst = dst[:out]
+	x = x[:in]
+	j := 0
+	for ; j+4 <= out; j += 4 {
+		r0, r1, r2, r3 := Dot4F32(x,
+			wT[j*in:(j+1)*in], wT[(j+1)*in:(j+2)*in],
+			wT[(j+2)*in:(j+3)*in], wT[(j+3)*in:(j+4)*in])
+		dst[j] = bias[j] + r0
+		dst[j+1] = bias[j+1] + r1
+		dst[j+2] = bias[j+2] + r2
+		dst[j+3] = bias[j+3] + r3
+	}
+	if j+2 <= out {
+		r0, r1 := Dot2F32(x, wT[j*in:(j+1)*in], wT[(j+1)*in:(j+2)*in])
+		dst[j] = bias[j] + r0
+		dst[j+1] = bias[j+1] + r1
+		j += 2
+	}
+	if j < out {
+		dst[j] = bias[j] + Dot1F32(x, wT[j*in:(j+1)*in])
+	}
+}
+
+// MatVecGroupF32 runs MatVecF32 for a whole group of slot-major rows with
+// the loop order inverted: weight 4-row blocks are the OUTER loop and group
+// rows the inner one, so each weight block is loaded from memory once and
+// stays L1-hot while every row in the group consumes it. For a group of G
+// rows this divides the weight traffic per row by G — the cross-slot
+// economy of scale batched decoding exists for, and the reason a decoder
+// slot kept hot (continuous batching) is cheaper than one decoding alone in
+// a drained batch. Per-row arithmetic and reduction order are exactly
+// MatVecF32's, so results are independent of how rows are grouped — the
+// determinism contract across parallel sharding.
+//
+// Row s reads x[s*xStride : s*xStride+in] and writes
+// dst[s*dstStride : s*dstStride+out].
+func MatVecGroupF32(dst []float32, dstStride int, wT, bias []float32, x []float32, xStride, in, out int, group []int) {
+	j := 0
+	for ; j+4 <= out; j += 4 {
+		w0 := wT[j*in : (j+1)*in]
+		w1 := wT[(j+1)*in : (j+2)*in]
+		w2 := wT[(j+2)*in : (j+3)*in]
+		w3 := wT[(j+3)*in : (j+4)*in]
+		b0, b1, b2, b3 := bias[j], bias[j+1], bias[j+2], bias[j+3]
+		for _, s := range group {
+			xr := x[s*xStride : s*xStride+in]
+			r0, r1, r2, r3 := Dot4F32(xr, w0, w1, w2, w3)
+			d := dst[s*dstStride+j : s*dstStride+j+4]
+			d[0] = b0 + r0
+			d[1] = b1 + r1
+			d[2] = b2 + r2
+			d[3] = b3 + r3
+		}
+	}
+	if j+2 <= out {
+		w0 := wT[j*in : (j+1)*in]
+		w1 := wT[(j+1)*in : (j+2)*in]
+		for _, s := range group {
+			xr := x[s*xStride : s*xStride+in]
+			r0, r1 := Dot2F32(xr, w0, w1)
+			d := dst[s*dstStride+j : s*dstStride+j+2]
+			d[0] = bias[j] + r0
+			d[1] = bias[j+1] + r1
+		}
+		j += 2
+	}
+	if j < out {
+		w0 := wT[j*in : (j+1)*in]
+		for _, s := range group {
+			dst[s*dstStride+j] = bias[j] + Dot1F32(x[s*xStride:s*xStride+in], w0)
+		}
+	}
+}
+
+// AxpyF32 computes dst[i] += a*x[i] over len(x) elements.
+func AxpyF32(dst []float32, a float32, x []float32) {
+	dst = dst[:len(x)]
+	for i, v := range x {
+		dst[i] += a * v
+	}
+}
+
+// F32From widens/narrows a float64 slice into dst (len(src) elements).
+func F32From(dst []float32, src []float64) {
+	dst = dst[:len(src)]
+	for i, v := range src {
+		dst[i] = float32(v)
+	}
+}
