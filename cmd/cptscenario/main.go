@@ -8,6 +8,7 @@
 //	cptscenario -spec my-scenario.json -ues 100000 -sink jsonl -out events.jsonl.gz
 //	cptscenario -spec handover-storm -save-spec storm.json
 //	cptscenario -spec paging-storm -sink replay -addr 127.0.0.1:9000 -speedup 600
+//	cptscenario -spec my-model-mix.json -ues 1000000 -precision f32 -speculative on -draft-k 4 -sink mcn
 //
 // -spec accepts a built-in name or a JSON spec path. Sinks: "count" (drain
 // and summarize), "mcn" (the simulated mobile-core NF), "jsonl"/"csv"
@@ -48,14 +49,21 @@ func main() {
 		fanIn    = flag.Int("fanin", 0, "merge fan-in bound (0 = default)")
 		tmp      = flag.String("tmp", "", "spill directory (default system temp)")
 		prec     = flag.String("precision", "", "override cptgpt sources' decode arithmetic: f64 (bit-exact) or f32 (fast float32 path); empty keeps each source's spec setting")
+		specDec  = flag.String("speculative", "", "override cptgpt sources' speculative decoding: on or off; empty keeps each source's spec setting")
+		draftK   = flag.Int("draft-k", 0, "override cptgpt sources' speculative draft chain length (0 keeps spec settings)")
 	)
 	flag.Parse()
 
-	// Validate up front: the override only reaches ParsePrecision when the
-	// spec has a cptgpt source, and a typo must not be silently dropped on
-	// the all-synthetic built-ins.
+	// Validate up front: the overrides only reach the parser when the spec
+	// has a cptgpt source, and a typo must not be silently dropped on the
+	// all-synthetic built-ins.
 	if _, err := cptgen.ParsePrecision(*prec); err != nil {
 		log.Fatal(err)
+	}
+	switch *specDec {
+	case "", "on", "off":
+	default:
+		log.Fatalf("unknown -speculative %q (want on, off or empty)", *specDec)
 	}
 
 	if *list {
@@ -87,6 +95,7 @@ func main() {
 	opts := cptgen.ScenarioRunOpts{
 		UEs: *ues, Parallelism: *par, BatchSize: *batch,
 		MaxFanIn: *fanIn, TempDir: *tmp, Precision: *prec,
+		Speculative: *specDec, DraftTokens: *draftK,
 	}
 
 	start := time.Now()

@@ -4,6 +4,7 @@
 // Usage:
 //
 //	cptsynth -model cptgpt  -model-file model.bin -n 1000 -out synth.jsonl
+//	cptsynth -model cptgpt  -model-file model.bin -n 1000000 -precision f32 -speculative -draft-k 4 -out synth.jsonl.gz
 //	cptsynth -model netshare -model-file model.bin -n 1000 -out synth.jsonl
 //	cptsynth -model smm -k 16 -fit trace.jsonl -n 1000 -out synth.jsonl
 package main
@@ -35,6 +36,8 @@ func main() {
 		par       = flag.Int("parallelism", 0, "worker count for generation (0 = all cores); output is identical at any value")
 		batch     = flag.Int("batch", 0, "CPT-GPT decode batch size: slots per continuously refilled decoder (0 = default)")
 		precision = flag.String("precision", "", "CPT-GPT decode arithmetic: f64 (bit-exact, default) or f32 (fast float32 path)")
+		spec      = flag.Bool("speculative", false, "CPT-GPT speculative decoding: a self-fitted draft proposes -draft-k tokens per UE, one multi-token pass verifies them; output distribution is exact, deterministic per -seed")
+		draftK    = flag.Int("draft-k", 0, "speculative draft chain length (0 = default)")
 	)
 	flag.Parse()
 	if *par > 0 {
@@ -63,8 +66,18 @@ func main() {
 		if err != nil {
 			log.Fatal(err)
 		}
-		if d, err = m.Generate(cptgen.CPTGPTGenOpts{NumStreams: *n, Device: dev, Seed: *seed, Precision: prec, Parallelism: *par, BatchSize: *batch}); err != nil {
+		var st cptgen.CPTGPTDecodeStats
+		opts := cptgen.CPTGPTGenOpts{
+			NumStreams: *n, Device: dev, Seed: *seed, Precision: prec,
+			Parallelism: *par, BatchSize: *batch,
+			Speculative: *spec, DraftTokens: *draftK, Stats: &st,
+		}
+		if d, err = m.Generate(opts); err != nil {
 			log.Fatal(err)
+		}
+		if *spec && st.DraftProposed > 0 {
+			fmt.Printf("speculative decode: %d/%d draft tokens accepted (%.1f%%)\n",
+				st.DraftAccepted, st.DraftProposed, 100*float64(st.DraftAccepted)/float64(st.DraftProposed))
 		}
 	case "netshare":
 		cfg := cptgen.DefaultNetShareConfig()

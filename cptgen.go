@@ -81,6 +81,45 @@ const (
 // "f32", "float32"); the empty string means PrecisionF64.
 func ParsePrecision(s string) (Precision, error) { return cptgpt.ParsePrecision(s) }
 
+// Speculative decoding. Setting CPTGPTGenOpts.Speculative has a cheap
+// draft model propose CPTGPTGenOpts.DraftTokens tokens per UE slot and the
+// transformer verify the whole chain in ONE multi-token pass (a
+// prefill-shaped kernel whose k-row GEMMs run on AVX2 where available);
+// acceptance–rejection sampling then keeps a prefix and resamples the
+// first rejected position from the residual distribution, so the output
+// law is exactly plain sampling's — the draft moves only the acceptance
+// rate. Output stays deterministic per Seed at every Parallelism ×
+// BatchSize. On skewed million-UE populations this is the decode
+// throughput headline (≥1.5× tokens/s at paper-scale dims, k=4); see the
+// README's "Speculative decoding" section for the knobs and intuition.
+type (
+	// CPTGPTDraftModel proposes speculative draft chains (see NewNGramDraft,
+	// NewSMMDraft; nil in the options means the model's self-fitted draft).
+	CPTGPTDraftModel = cptgpt.DraftModel
+	// CPTGPTDecodeStats carries decode telemetry (scheduling steps and
+	// speculative proposed/accepted counters) when CPTGPTGenOpts.Stats is
+	// set.
+	CPTGPTDecodeStats = cptgpt.DecodeStats
+)
+
+// DefaultDraftTokens is the speculation depth when
+// CPTGPTGenOpts.DraftTokens is unset.
+const DefaultDraftTokens = cptgpt.DefaultDraftTokens
+
+// NewNGramDraft fits the no-domain-knowledge fallback draft — a smoothed
+// bigram with per-transition clamped-Gaussian interarrival summaries —
+// from a dataset, for speculative decoding with model m.
+func NewNGramDraft(d *Dataset, m *CPTGPTModel) CPTGPTDraftModel {
+	return cptgpt.NewNGramDraft(d, m.Tok)
+}
+
+// NewSMMDraft adapts a fitted semi-Markov baseline (FitSMM) into a
+// speculative draft proposer for model m — the paper trains the SMM anyway,
+// so the draft comes free.
+func NewSMMDraft(sm *SMMModel, m *CPTGPTModel) (CPTGPTDraftModel, error) {
+	return cptgpt.NewSMMDraft(sm, m.Tok)
+}
+
 // Core data model.
 type (
 	// Dataset is a control-plane traffic dataset: one stream per UE.

@@ -87,6 +87,58 @@ func TestFacadePipeline(t *testing.T) {
 	}
 }
 
+// TestSpeculativeThroughFacade covers the exported speculative-decoding
+// surface: the speculative knobs on CPTGPTGenOpts, the decode-stats
+// telemetry, and both draft constructors (n-gram from training data, SMM
+// baseline adapter) on a trained model — where acceptance should be
+// healthy, since draft and target learned the same data.
+func TestSpeculativeThroughFacade(t *testing.T) {
+	gtCfg := DefaultGroundTruthConfig()
+	gtCfg.UEs = map[events.DeviceType]int{Phone: 120}
+	gtCfg.Hours = 1
+	real, err := GenerateGroundTruth(gtCfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := DefaultCPTGPTConfig()
+	cfg.Epochs = 3
+	model, err := TrainCPTGPT(real, cfg, CPTGPTTrainOpts{})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	sm, err := FitSMM(real, DefaultSMMConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	smmDraft, err := NewSMMDraft(sm, model)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for name, draft := range map[string]CPTGPTDraftModel{
+		"self":  nil,
+		"ngram": NewNGramDraft(real, model),
+		"smm":   smmDraft,
+	} {
+		var st CPTGPTDecodeStats
+		synth, err := model.Generate(CPTGPTGenOpts{
+			NumStreams: 50, Device: Phone, Seed: 7, Precision: PrecisionF32,
+			Speculative: true, DraftTokens: DefaultDraftTokens, DraftModel: draft, Stats: &st,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if synth.NumStreams() != 50 {
+			t.Fatalf("%s: generated %d streams", name, synth.NumStreams())
+		}
+		if st.DraftProposed == 0 || st.DraftAccepted > st.DraftProposed {
+			t.Fatalf("%s: implausible stats %+v", name, st)
+		}
+		t.Logf("%s draft: %.1f%% acceptance (%d/%d)", name,
+			100*float64(st.DraftAccepted)/float64(st.DraftProposed), st.DraftAccepted, st.DraftProposed)
+	}
+}
+
 // TestBaselinesThroughFacade covers SMM and NetShare construction.
 func TestBaselinesThroughFacade(t *testing.T) {
 	gtCfg := DefaultGroundTruthConfig()

@@ -3,6 +3,7 @@ package cptgpt
 import (
 	"fmt"
 	"math"
+	"sync/atomic"
 
 	"cptgpt/internal/tensor"
 )
@@ -42,9 +43,23 @@ type BatchDecoder struct {
 	capacity int
 	pos      []int // per-slot position
 
-	// Scheduling counters (see Stats): steps counts Step calls, slotSteps
-	// the total slot-steps decoded across them.
-	steps, slotSteps int64
+	// Lifetime counters (see Stats). Atomics: Step/StepK run on the
+	// decoder's owning goroutine, but Stats may be read concurrently by a
+	// monitor (and Generate aggregates worker decoders' counters while the
+	// race detector watches), so every access is atomic.
+	steps, slotSteps             atomic.Int64
+	draftProposed, draftAccepted atomic.Int64
+
+	// Multi-token (StepK) state: kMax is the per-slot row capacity the K
+	// buffers are sized for, grown on demand by ensureK.
+	kMax  int
+	outsK [][]StepOut
+	// Per-(slot, row) widened head outputs: capacity × kMax × width.
+	evOutK, iaOutK, stopOutK []float64
+	// F32 multi-token scratch: capacity × kMax × width.
+	tokK32, xK32, qK32, kK32, vK32, attK32, tmpK32 []float32
+	ffK32, hidK32, hidK232                         []float32
+	evOutK32, iaOutK32, stopOutK32                 []float32
 
 	// F64 state. kc/vc hold, per block, the shared KV cache: slot-major,
 	// each slot owning MaxLen × DModel values.
@@ -158,13 +173,52 @@ func (d *BatchDecoder) Reset() {
 // read, because every kernel is bounded by the slot's own pos.
 func (d *BatchDecoder) ResetSlot(slot int) { d.pos[slot] = 0 }
 
-// Stats reports the decoder's lifetime scheduling counters: steps is the
-// number of Step calls, slotSteps the total slot-steps decoded across them.
-// slotSteps / (steps × Capacity) is the slot utilization — the fraction of
-// the decoder's lockstep bandwidth doing useful work (continuous batching
-// keeps it near 1 on skewed stream-length distributions, where pure lockstep
-// idles retired slots until the longest stream finishes).
-func (d *BatchDecoder) Stats() (steps, slotSteps int64) { return d.steps, d.slotSteps }
+// TruncateSlot rewinds a slot to position pos < Pos(slot), discarding the
+// cached keys/values above it under the same slot-reset contract as
+// ResetSlot (stale rows are unreachable, never cleared). Speculative
+// decoding uses this to drop the draft-chain suffix after the first
+// rejected position: the accepted prefix's cache rows stay valid, and the
+// resampled token is consumed on the next verify pass.
+func (d *BatchDecoder) TruncateSlot(slot, pos int) {
+	if pos < 0 || pos > d.pos[slot] {
+		panic(fmt.Sprintf("cptgpt: TruncateSlot(%d, %d) outside [0, %d]", slot, pos, d.pos[slot]))
+	}
+	d.pos[slot] = pos
+}
+
+// DecodeStats is a snapshot of a BatchDecoder's lifetime counters.
+//
+// Steps counts Step/StepK calls and SlotSteps the slot-tokens decoded across
+// them; SlotSteps / (Steps × Capacity × rows-per-slot) is the slot
+// utilization continuous batching keeps near 1 on skewed stream-length
+// populations. DraftProposed and DraftAccepted count speculative draft
+// tokens offered to and fully accepted by the verify pass (zero outside
+// speculative decoding); DraftAccepted / DraftProposed is the acceptance
+// rate — the fraction of verify positions that became emitted tokens, the
+// currency a draft model is judged in.
+type DecodeStats struct {
+	Steps, SlotSteps             int64
+	DraftProposed, DraftAccepted int64
+}
+
+// Stats returns a consistent-enough snapshot of the decoder's lifetime
+// counters. It is safe to call concurrently with Step/StepK (each counter is
+// read atomically; the counters may be mid-update relative to one another).
+func (d *BatchDecoder) Stats() DecodeStats {
+	return DecodeStats{
+		Steps:         d.steps.Load(),
+		SlotSteps:     d.slotSteps.Load(),
+		DraftProposed: d.draftProposed.Load(),
+		DraftAccepted: d.draftAccepted.Load(),
+	}
+}
+
+// countDraft accumulates speculative proposal/acceptance counts (called by
+// the speculative sampler after each verify pass).
+func (d *BatchDecoder) countDraft(proposed, accepted int64) {
+	d.draftProposed.Add(proposed)
+	d.draftAccepted.Add(accepted)
+}
 
 // stepCost estimates the multiply-adds of one stream's decode step, used to
 // decide whether a batch is worth fanning out across the worker pool.
@@ -184,8 +238,8 @@ func (d *BatchDecoder) stepCost() int {
 // deep slots freely — and a slot panics past MaxLen exactly like the serial
 // decoder.
 func (d *BatchDecoder) Step(slots []int, tokens []float64) []StepOut {
-	d.steps++
-	d.slotSteps += int64(len(slots))
+	d.steps.Add(1)
+	d.slotSteps.Add(int64(len(slots)))
 	f32 := d.prec == F32
 	tensor.ParallelFor(len(slots), d.stepCost(), func(lo, hi int) {
 		if f32 {
@@ -208,19 +262,32 @@ func (d *BatchDecoder) Step(slots []int, tokens []float64) []StepOut {
 // writing d.outs[i]. It is the exact per-slot body the lockstep decoder has
 // always run (bit-identical to the serial decoder in infer.go).
 func (d *BatchDecoder) stepSlotF64(i, slot int, tokens []float64) {
+	dim := d.m.Tok.Dim()
+	v := d.m.Tok.V()
+	iaW := len(d.iaOut) / d.capacity
+	evOut := d.evOut[slot*v : (slot+1)*v]
+	iaOut := d.iaOut[slot*iaW : (slot+1)*iaW]
+	stopOut := d.stopOut[slot*2 : (slot+1)*2]
+	d.decodeRowF64(slot, tokens[slot*dim:(slot+1)*dim], evOut, iaOut, stopOut)
+	d.fillOut(i, slot, evOut, iaOut, stopOut)
+}
+
+// decodeRowF64 consumes one token for a slot through the float64 reference
+// kernels — the shared row body of Step and the multi-token StepK — writing
+// the three head outputs into the caller's buffers and advancing the slot's
+// position. Identical calls produce identical bits regardless of which slots
+// share the batch: every kernel touches only this slot's cache and scratch
+// regions.
+func (d *BatchDecoder) decodeRowF64(slot int, token, evOut, iaOut, stopOut []float64) {
 	m := d.m
 	dm := m.Cfg.DModel
-	dim := m.Tok.Dim()
 	maxLen := m.Cfg.MaxLen
-	v := m.Tok.V()
 	hw := len(d.hid) / d.capacity
-	iaW := len(d.iaOut) / d.capacity
 
 	pos := d.pos[slot]
 	if pos >= maxLen {
 		panic("cptgpt: BatchDecoder stepped past MaxLen")
 	}
-	token := tokens[slot*dim : (slot+1)*dim]
 	x := d.x[slot*dm : (slot+1)*dm]
 	q := d.q[slot*dm : (slot+1)*dm]
 	k := d.k[slot*dm : (slot+1)*dm]
@@ -271,14 +338,10 @@ func (d *BatchDecoder) stepSlotF64(i, slot int, tokens []float64) {
 
 	layerNormRow(tmp, x, m.Final)
 
-	evOut := d.evOut[slot*v : (slot+1)*v]
-	iaOut := d.iaOut[slot*iaW : (slot+1)*iaW]
-	stopOut := d.stopOut[slot*2 : (slot+1)*2]
 	mlpRowInto(evOut, hid, hid2, tmp, m.EventHd)
 	mlpRowInto(iaOut, hid, hid2, tmp, m.IAHd)
 	mlpRowInto(stopOut, hid, hid2, tmp, m.StopHd)
 
-	d.fillOut(i, slot, evOut, iaOut, stopOut)
 	d.pos[slot] = pos + 1
 }
 
@@ -401,13 +464,125 @@ func (d *BatchDecoder) stepGroupF32(slots []int, lo, hi int, tokens []float64) {
 // fillOut assembles d.outs[i] from a slot's head-output regions (shared tail
 // of both precision paths).
 func (d *BatchDecoder) fillOut(i, slot int, evOut, iaOut, stopOut []float64) {
-	out := &d.outs[i]
+	fillStepOut(&d.outs[i], d.m.Cfg.DistHead, evOut, iaOut, stopOut)
+}
+
+// fillStepOut assembles one StepOut from head-output regions.
+func fillStepOut(out *StepOut, distHead bool, evOut, iaOut, stopOut []float64) {
 	out.EventLogits = evOut
 	out.IAMean = iaOut[0]
-	if d.m.Cfg.DistHead {
+	if distHead {
 		out.IALogStd = math.Min(math.Max(iaOut[1], -6), 2)
 	} else {
 		out.IALogStd = math.NaN()
 	}
 	out.StopLogits = [2]float64{stopOut[0], stopOut[1]}
+}
+
+// ensureK sizes the multi-token buffers for up to kMax rows per slot. Grow-
+// only: the first StepK of a Generate run allocates, steady state reuses.
+func (d *BatchDecoder) ensureK(kMax int) {
+	if kMax <= d.kMax {
+		return
+	}
+	m := d.m
+	c := d.capacity
+	v := m.Tok.V()
+	iaW := m.IAHd.Layers[len(m.IAHd.Layers)-1].W.Cols
+	d.kMax = kMax
+	d.outsK = make([][]StepOut, c)
+	flat := make([]StepOut, c*kMax)
+	for s := range d.outsK {
+		d.outsK[s] = flat[s*kMax : (s+1)*kMax]
+	}
+	d.evOutK = make([]float64, c*kMax*v)
+	d.iaOutK = make([]float64, c*kMax*iaW)
+	d.stopOutK = make([]float64, c*kMax*2)
+	if d.prec == F32 {
+		dm := m.Cfg.DModel
+		hw := len(d.hid32) / c
+		d.tokK32 = make([]float32, c*kMax*m.Tok.Dim())
+		d.xK32 = make([]float32, c*kMax*dm)
+		d.qK32 = make([]float32, c*kMax*dm)
+		d.kK32 = make([]float32, c*kMax*dm)
+		d.vK32 = make([]float32, c*kMax*dm)
+		d.attK32 = make([]float32, c*kMax*dm)
+		d.tmpK32 = make([]float32, c*kMax*dm)
+		d.ffK32 = make([]float32, c*kMax*m.Cfg.MLPHidden)
+		d.hidK32 = make([]float32, c*kMax*hw)
+		d.hidK232 = make([]float32, c*kMax*hw)
+		d.evOutK32 = make([]float32, c*kMax*v)
+		d.iaOutK32 = make([]float32, c*kMax*iaW)
+		d.stopOutK32 = make([]float32, c*kMax*2)
+	}
+}
+
+// StepK is the multi-token verify / batched prefill kernel: it advances each
+// listed slot by ks[i] tokens in one pass, appending every token's keys and
+// values to the slot's cache and returning the head outputs after each
+// position — outsK[i][r] is the model's conditional after slot slots[i]
+// consumed its rows 0..r. tokens is slot-major with kMax rows per slot: slot
+// s's row r is tokens[(s*kMax+r)*Dim() : ...+Dim()].
+//
+// Because every consumed token is given up front, the pass is prefill-shaped
+// rather than decode-shaped: on the F32 path each layer runs as a k-row GEMM
+// per slot (tensor.GemmF32 — the AVX2 kernel where available), streaming
+// each weight panel once per slot group instead of once per token, which is
+// the speculative-decoding throughput headline. Causality is preserved
+// position by position: row r's attention sees exactly the cache up to row
+// r, so outputs equal stepping the same tokens one Step at a time — bit-
+// identical on the F64 path and on the F32 path with the scalar GEMM
+// fallback; within float32 rounding with the assembly GEMM (whose wider
+// reduction order trades bit-compatibility for ~5× the matvec throughput).
+//
+// Per-slot results are independent of which slots share the pass and of the
+// worker fan-out, so speculative decoding inherits the determinism contract.
+// The returned slices alias decoder-owned scratch, valid until the next
+// Step/StepK. Speculative rejection rewinds a slot's suffix via
+// TruncateSlot; the same kernel prefills prompted generation by feeding the
+// prompt's tokens as one chain.
+func (d *BatchDecoder) StepK(slots []int, ks []int, kMax int, tokens []float64) [][]StepOut {
+	if len(ks) != len(slots) {
+		panic(fmt.Sprintf("cptgpt: StepK with %d slots but %d row counts", len(slots), len(ks)))
+	}
+	var total int64
+	for i, k := range ks {
+		if k < 1 || k > kMax {
+			panic(fmt.Sprintf("cptgpt: StepK slot %d rows %d outside [1, %d]", slots[i], k, kMax))
+		}
+		total += int64(k)
+	}
+	d.ensureK(kMax)
+	d.steps.Add(1)
+	d.slotSteps.Add(total)
+	f32 := d.prec == F32
+	tensor.ParallelFor(len(slots), d.stepCost()*kMax, func(lo, hi int) {
+		if f32 {
+			d.stepGroupF32K(slots, ks, lo, hi, kMax, tokens)
+			return
+		}
+		for i := lo; i < hi; i++ {
+			d.stepSlotF64K(i, slots[i], ks[i], kMax, tokens)
+		}
+	})
+	return d.outsK[:len(slots)]
+}
+
+// stepSlotF64K runs one slot's k rows through the float64 reference row body
+// — the same kernels, in the same order, as k successive Steps, so the
+// outputs are bit-identical to single-token stepping.
+func (d *BatchDecoder) stepSlotF64K(i, slot, k, kMax int, tokens []float64) {
+	m := d.m
+	dim := m.Tok.Dim()
+	v := m.Tok.V()
+	iaW := len(d.iaOut) / d.capacity
+	outs := d.outsK[i][:k]
+	for r := 0; r < k; r++ {
+		row := slot*kMax + r
+		evOut := d.evOutK[row*v : (row+1)*v]
+		iaOut := d.iaOutK[row*iaW : (row+1)*iaW]
+		stopOut := d.stopOutK[row*2 : (row+1)*2]
+		d.decodeRowF64(slot, tokens[row*dim:(row+1)*dim], evOut, iaOut, stopOut)
+		fillStepOut(&outs[r], m.Cfg.DistHead, evOut, iaOut, stopOut)
+	}
 }

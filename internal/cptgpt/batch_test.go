@@ -273,9 +273,9 @@ func TestSlotRefillMidBatch(t *testing.T) {
 				}
 			}
 		}
-		steps, slotSteps := bd.Stats()
-		if steps == 0 || slotSteps == 0 {
-			t.Fatalf("%s: Stats() = (%d, %d), want non-zero scheduling counters", prec, steps, slotSteps)
+		st := bd.Stats()
+		if st.Steps == 0 || st.SlotSteps == 0 {
+			t.Fatalf("%s: Stats() = %+v, want non-zero scheduling counters", prec, st)
 		}
 	}
 }

@@ -1,0 +1,179 @@
+package cptgpt
+
+import (
+	"fmt"
+
+	"cptgpt/internal/events"
+	"cptgpt/internal/smm"
+	"cptgpt/internal/statemachine"
+)
+
+// SMMDraft adapts a fitted semi-Markov baseline (internal/smm) into a
+// speculative draft proposer: the SMM's per-state transition mixture
+// proposes event types, and its per-transition log-sojourn moments —
+// mapped affinely into the tokenizer's scaled interarrival space, which is
+// exact for Gaussians because ScaleIA is affine in log1p(seconds) — propose
+// interarrivals. The paper trains the SMM anyway as its domain-knowledge
+// baseline, so the draft comes free; because the SMM walks the same 3GPP
+// state machine the traffic obeys, its guesses track a trained CPT-GPT's
+// conditionals closely where the machine constrains the future.
+//
+// The adapter tracks the machine state event by event. CPT-GPT may emit
+// transitions the machine forbids (that freedom is the point of the paper);
+// when that happens the draft marks the stream "lost" and falls back to the
+// n-gram-style smoothed marginal until the next bootstrappable event
+// re-anchors it. Draft quality only moves the acceptance rate — the
+// speculative sampler keeps the output distribution exact regardless.
+type SMMDraft struct {
+	machine statemachine.Machine
+	vocab   []events.Type
+	// probs/iaMu/iaSd[st] are the per-state proposal tables in vocabulary-
+	// index space (precomputed from sm.ProposeNext, uniform-smoothed).
+	probs [][]float64
+	iaMu  [][]float64
+	iaSd  [][]float64
+	// fallback is the uniform proposal used when state tracking is lost or
+	// the state is absorbing in the fitted data.
+	fallback []float64
+}
+
+// NewSMMDraft builds the adapter for a fitted SMM whose generation matches
+// the tokenizer's.
+func NewSMMDraft(sm *smm.Model, tok Tokenizer) (*SMMDraft, error) {
+	if sm.Gen != tok.Gen {
+		return nil, fmt.Errorf("cptgpt: SMM generation %s does not match tokenizer %s", sm.Gen, tok.Gen)
+	}
+	machine := statemachine.New(tok.Gen)
+	vocab := tok.Vocab()
+	v := len(vocab)
+	states := machine.States()
+	n := 0
+	for _, st := range states {
+		if int(st) >= n {
+			n = int(st) + 1
+		}
+	}
+	d := &SMMDraft{
+		machine:  machine,
+		vocab:    vocab,
+		probs:    make([][]float64, n),
+		iaMu:     make([][]float64, n),
+		iaSd:     make([][]float64, n),
+		fallback: make([]float64, v),
+	}
+	for i := range d.fallback {
+		d.fallback[i] = 1 / float64(v)
+	}
+	rng := tok.MaxLog - tok.MinLog
+	for _, st := range states {
+		p, ok := sm.ProposeNext(st)
+		if !ok {
+			continue
+		}
+		probs := make([]float64, v)
+		mu := make([]float64, v)
+		sd := make([]float64, v)
+		for i := range mu {
+			mu[i], sd[i] = 0.5, 0.5 // defaults for never-proposed events
+		}
+		for j, e := range p.Events {
+			idx := events.VocabIndex(tok.Gen, e)
+			if idx < 0 {
+				continue
+			}
+			probs[idx] = p.Probs[j]
+			// Affine map from log1p-seconds moments into scaled space:
+			// scaled = (log1p(x) − MinLog) / (MaxLog − MinLog).
+			m := (p.SojournLogMean[j] - tok.MinLog) / rng
+			s := p.SojournLogStd[j] / rng
+			mu[idx] = clamp01(m)
+			if s < draftSigmaFloor {
+				s = draftSigmaFloor
+			}
+			sd[idx] = s
+		}
+		// Uniform smoothing: bound the acceptance cost of support gaps.
+		for i := range probs {
+			probs[i] = (1-draftUniformMix)*probs[i] + draftUniformMix/float64(v)
+		}
+		d.probs[st] = probs
+		d.iaMu[st] = mu
+		d.iaSd[st] = sd
+	}
+	return d, nil
+}
+
+// clamp01 clamps into [0, 1].
+func clamp01(x float64) float64 {
+	if x < 0 {
+		return 0
+	}
+	if x > 1 {
+		return 1
+	}
+	return x
+}
+
+// NewDraftState returns a fresh machine-tracking state.
+func (d *SMMDraft) NewDraftState() DraftState { return &smmState{d: d, lost: true} }
+
+// smmState walks the 3GPP machine along the emitted event sequence.
+type smmState struct {
+	d    *SMMDraft
+	st   statemachine.State
+	lost bool
+}
+
+func (s *smmState) Reset(eventIdx int) {
+	s.sync(eventIdx)
+}
+
+func (s *smmState) Observe(eventIdx int, _ float64) {
+	if s.lost {
+		s.sync(eventIdx)
+		return
+	}
+	if next, ok := s.d.machine.Step(s.st, s.d.vocab[eventIdx]); ok {
+		s.st = next
+		return
+	}
+	// Semantically invalid emission: try to re-anchor, else mark lost.
+	s.sync(eventIdx)
+}
+
+// sync re-anchors the machine state from a single event via Bootstrap.
+func (s *smmState) sync(eventIdx int) {
+	if eventIdx >= 0 && eventIdx < len(s.d.vocab) {
+		if st, ok := s.d.machine.Bootstrap(s.d.vocab[eventIdx]); ok {
+			s.st, s.lost = st, false
+			return
+		}
+	}
+	s.lost = true
+}
+
+func (s *smmState) Propose(evProbs []float64) {
+	d := s.d
+	if !s.lost && int(s.st) < len(d.probs) && d.probs[s.st] != nil {
+		copy(evProbs[:len(d.fallback)], d.probs[s.st])
+		return
+	}
+	copy(evProbs[:len(d.fallback)], d.fallback)
+}
+
+func (s *smmState) ProposeIA(eventIdx int) (float64, float64) {
+	d := s.d
+	if !s.lost && int(s.st) < len(d.iaMu) && d.iaMu[s.st] != nil &&
+		eventIdx >= 0 && eventIdx < len(d.iaMu[s.st]) {
+		return d.iaMu[s.st][eventIdx], d.iaSd[s.st][eventIdx]
+	}
+	return 0.5, 0.5
+}
+
+func (s *smmState) CopyFrom(src DraftState) {
+	o, ok := src.(*smmState)
+	if !ok {
+		panic(fmt.Sprintf("cptgpt: smmState.CopyFrom(%T)", src))
+	}
+	*s = *o
+}

@@ -175,6 +175,191 @@ func ffGeluGroupF32(dst []float32, dstStride int, l *nn.LinearF32, x []float32, 
 	}
 }
 
+// stepGroupF32K is the float32 multi-token verify / prefill kernel: it
+// advances each slot of slots[lo:hi] by its ks count of tokens in one pass.
+// Where stepGroupF32 amortizes weight traffic across slots (one row each),
+// this kernel amortizes across a slot's k known rows as well: every linear
+// layer runs as a k-row GEMM per slot (tensor.GemmF32 — AVX2+FMA where the
+// machine has it), with the layer loop outer and the slot loop inner so a
+// weight panel fetched for one slot stays cache-hot for the rest of the
+// shard. Attention stays per-row — row r's fused online-softmax pass sees
+// exactly the slot's cache up to position pos+r, which is what keeps the
+// pass causally identical to single-token stepping.
+//
+// Per-(slot, row) results are independent of the shard composition and the
+// worker fan-out: GEMM row results don't depend on the rows batched with
+// them, and every other kernel is per-row with a fixed order. With the
+// scalar GEMM fallback the outputs are bit-identical to k successive Step
+// calls; with the assembly GEMM they agree within float32 rounding (wider
+// reduction order) and remain deterministic per machine.
+func (d *BatchDecoder) stepGroupF32K(slots, ks []int, lo, hi, kMax int, tokens []float64) {
+	m := d.m
+	inf := d.inf
+	dm := m.Cfg.DModel
+	dim := m.Tok.Dim()
+	maxLen := m.Cfg.MaxLen
+	heads := m.Cfg.Heads
+	v := m.Tok.V()
+	mlpH := m.Cfg.MLPHidden
+	iaW := len(d.iaOut) / d.capacity
+	kst := d.kMax // row stride of the K scratch buffers (≥ kMax)
+
+	// Token intake (and the past-MaxLen panic, before any work).
+	for i := lo; i < hi; i++ {
+		slot, k := slots[i], ks[i]
+		if d.pos[slot]+k > maxLen {
+			panic("cptgpt: BatchDecoder stepped past MaxLen")
+		}
+		for r := 0; r < k; r++ {
+			tensor.F32From(d.tokK32[(slot*kst+r)*dim:(slot*kst+r+1)*dim],
+				tokens[(slot*kMax+r)*dim:(slot*kMax+r+1)*dim])
+		}
+	}
+
+	// Input projection + positional embeddings.
+	for i := lo; i < hi; i++ {
+		slot, k := slots[i], ks[i]
+		base := slot * kst
+		tensor.GemmF32(d.xK32[base*dm:(base+k)*dm], inf.inProj.WT, inf.inProj.B,
+			d.tokK32[base*dim:(base+k)*dim], k, dim, dm)
+		for r := 0; r < k; r++ {
+			x := d.xK32[(base+r)*dm : (base+r+1)*dm]
+			pe := inf.posEmb[(d.pos[slot]+r)*dm : (d.pos[slot]+r+1)*dm]
+			for j := range x {
+				x[j] += pe[j]
+			}
+		}
+	}
+
+	stride := 2 * dm
+	slotKV := maxLen * stride
+	for bi := range inf.blocks {
+		b := &inf.blocks[bi]
+		// Attention sub-layer (pre-norm, residual).
+		for i := lo; i < hi; i++ {
+			slot, k := slots[i], ks[i]
+			base := slot * kst
+			for r := 0; r < k; r++ {
+				layerNormRowF32(d.tmpK32[(base+r)*dm:(base+r+1)*dm], d.xK32[(base+r)*dm:(base+r+1)*dm], &b.ln1)
+			}
+			tensor.GemmF32(d.qK32[base*dm:(base+k)*dm], b.wq.WT, b.wq.B, d.tmpK32[base*dm:(base+k)*dm], k, dm, dm)
+			tensor.GemmF32(d.kK32[base*dm:(base+k)*dm], b.wk.WT, b.wk.B, d.tmpK32[base*dm:(base+k)*dm], k, dm, dm)
+			tensor.GemmF32(d.vK32[base*dm:(base+k)*dm], b.wv.WT, b.wv.B, d.tmpK32[base*dm:(base+k)*dm], k, dm, dm)
+			pos := d.pos[slot]
+			kv := d.kv32[(bi*d.capacity+slot)*slotKV : (bi*d.capacity+slot+1)*slotKV]
+			for r := 0; r < k; r++ {
+				kvRow := kv[(pos+r)*stride : (pos+r+1)*stride]
+				copy(kvRow[:dm], d.kK32[(base+r)*dm:(base+r+1)*dm])
+				copy(kvRow[dm:], d.vK32[(base+r)*dm:(base+r+1)*dm])
+			}
+			// Causal: row r attends to exactly the cache through pos+r.
+			for r := 0; r < k; r++ {
+				attendRowF32(d.attK32[(base+r)*dm:(base+r+1)*dm], d.qK32[(base+r)*dm:(base+r+1)*dm], kv,
+					pos+r+1, b.heads, dm, d.mAcc32[slot*heads:(slot+1)*heads], d.lAcc32[slot*heads:(slot+1)*heads])
+			}
+			tensor.GemmF32(d.tmpK32[base*dm:(base+k)*dm], b.wo.WT, b.wo.B, d.attK32[base*dm:(base+k)*dm], k, dm, dm)
+			for r := 0; r < k; r++ {
+				x := d.xK32[(base+r)*dm : (base+r+1)*dm]
+				tmp := d.tmpK32[(base+r)*dm : (base+r+1)*dm]
+				for j := range x {
+					x[j] += tmp[j]
+				}
+			}
+		}
+
+		// Feed-forward sub-layer (pre-norm, residual).
+		for i := lo; i < hi; i++ {
+			slot, k := slots[i], ks[i]
+			base := slot * kst
+			for r := 0; r < k; r++ {
+				layerNormRowF32(d.tmpK32[(base+r)*dm:(base+r+1)*dm], d.xK32[(base+r)*dm:(base+r+1)*dm], &b.ln2)
+			}
+			ff := d.ffK32[base*mlpH : (base+k)*mlpH]
+			tensor.GemmF32(ff, b.ffIn.WT, b.ffIn.B, d.tmpK32[base*dm:(base+k)*dm], k, dm, mlpH)
+			for j := range ff {
+				ff[j] = gelu32(ff[j])
+			}
+			tensor.GemmF32(d.tmpK32[base*dm:(base+k)*dm], b.ffOut.WT, b.ffOut.B, ff, k, mlpH, dm)
+			for r := 0; r < k; r++ {
+				x := d.xK32[(base+r)*dm : (base+r+1)*dm]
+				tmp := d.tmpK32[(base+r)*dm : (base+r+1)*dm]
+				for j := range x {
+					x[j] += tmp[j]
+				}
+			}
+		}
+	}
+
+	// Final norm, output heads, widening.
+	for i := lo; i < hi; i++ {
+		slot, k := slots[i], ks[i]
+		base := slot * kst
+		for r := 0; r < k; r++ {
+			layerNormRowF32(d.tmpK32[(base+r)*dm:(base+r+1)*dm], d.xK32[(base+r)*dm:(base+r+1)*dm], &inf.final)
+		}
+		x := d.tmpK32[base*dm : (base+k)*dm]
+		hw := d.hkw()
+		hid := d.hidK32[base*hw:]
+		hid2 := d.hidK232[base*hw:]
+		mlpGemmF32K(d.evOutK32[base*v:(base+k)*v], hid, hid2, x, &inf.eventHd, k)
+		mlpGemmF32K(d.iaOutK32[base*iaW:(base+k)*iaW], hid, hid2, x, &inf.iaHd, k)
+		mlpGemmF32K(d.stopOutK32[base*2:(base+k)*2], hid, hid2, x, &inf.stopHd, k)
+
+		outs := d.outsK[i][:k]
+		for r := 0; r < k; r++ {
+			row := base + r
+			evOut := d.evOutK[row*v : (row+1)*v]
+			iaOut := d.iaOutK[row*iaW : (row+1)*iaW]
+			stopOut := d.stopOutK[row*2 : (row+1)*2]
+			for j, val := range d.evOutK32[row*v : (row+1)*v] {
+				evOut[j] = float64(val)
+			}
+			for j, val := range d.iaOutK32[row*iaW : (row+1)*iaW] {
+				iaOut[j] = float64(val)
+			}
+			for j, val := range d.stopOutK32[row*2 : (row+1)*2] {
+				stopOut[j] = float64(val)
+			}
+			fillStepOut(&outs[r], m.Cfg.DistHead, evOut, iaOut, stopOut)
+		}
+		d.pos[slot] += k
+	}
+}
+
+// hkw returns the per-row width of the multi-token hidden scratch.
+func (d *BatchDecoder) hkw() int { return len(d.hidK32) / (d.capacity * d.kMax) }
+
+// mlpGemmF32K applies an exported MLP (ReLU between layers) to k packed
+// rows: every layer is one k-row GEMM, intermediate activations ping-pong
+// through hid/hid2 (each with room for k × widest-layer values, packed at
+// the layer's own width). Per-row arithmetic matches mlpGroupF32's exactly
+// under the scalar GEMM.
+func mlpGemmF32K(dst, hid, hid2 []float32, x []float32, m *nn.MLPF32, k int) {
+	cur := x
+	last := len(m.Layers) - 1
+	for i := range m.Layers {
+		l := &m.Layers[i]
+		var next []float32
+		switch {
+		case i == last:
+			next = dst[:k*l.Out]
+		case i%2 == 0:
+			next = hid[:k*l.Out]
+		default:
+			next = hid2[:k*l.Out]
+		}
+		tensor.GemmF32(next, l.WT, l.B, cur, k, l.In, l.Out)
+		if i != last {
+			for j := range next {
+				if next[j] < 0 {
+					next[j] = 0
+				}
+			}
+		}
+		cur = next
+	}
+}
+
 // mlpGroupF32 applies an exported MLP (ReLU between layers) to a group of
 // slot-major rows, writing the final layer into dst. hid and hid2 (stride
 // hw) are ping-pong scratch wide enough for every intermediate layer; the

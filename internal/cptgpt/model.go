@@ -125,6 +125,9 @@ type Model struct {
 	// derived state — never serialized, dropped by Clone's rebuild, and
 	// invalidated by Train/FineTune after weight updates.
 	infer inferCache
+	// draft caches the self-fitted speculative draft proposer (see
+	// SelfDraft); derived state with the same lifecycle as infer.
+	draft draftCache
 }
 
 // NewModel builds an initialized model for the tokenizer's vocabulary.

@@ -126,10 +126,12 @@ func (m *Model) Infer() *InferModel {
 	return m.infer.inf
 }
 
-// InvalidateInfer drops the cached float32 snapshot so the next Infer call
-// re-freezes the (presumably updated) weights.
+// InvalidateInfer drops the derived inference state — the cached float32
+// snapshot and the self-fitted speculative draft — so the next use
+// re-derives both from the (presumably updated) weights.
 func (m *Model) InvalidateInfer() {
 	m.infer.mu.Lock()
 	m.infer.inf = nil
 	m.infer.mu.Unlock()
+	m.invalidateDraft()
 }

@@ -53,6 +53,33 @@ type GenOpts struct {
 	// not see a synchronized t=0 attach storm. Interarrivals, sojourns and
 	// flow lengths are unaffected.
 	StartWindow float64
+	// Speculative enables speculative decoding: a cheap draft model
+	// proposes DraftTokens tokens per slot and the transformer verifies
+	// the whole chain in one multi-token pass, with acceptance–rejection
+	// sampling preserving the output distribution exactly (see
+	// speculate.go). Output remains deterministic per Seed at every
+	// Parallelism × BatchSize, but differs stream-by-stream from the
+	// non-speculative paths (different RNG consumption); workload
+	// statistics match within the fidelity gates. Implies continuous
+	// batching (Lockstep is ignored). The throughput win needs the
+	// distribution head (the default); under the Table 8 ablation chains
+	// cannot extend and speculation degrades to plain decoding speed.
+	Speculative bool
+	// DraftTokens is the number of draft tokens proposed per verify pass
+	// (the speculation depth k); 0 means DefaultDraftTokens. Output is
+	// deterministic per (Seed, DraftTokens) but differs across k — k
+	// changes RNG consumption, not the output law.
+	DraftTokens int
+	// DraftModel proposes the draft chains. nil uses the model's
+	// self-distilled n-gram (Model.SelfDraft, fitted once and cached);
+	// NewSMMDraft adapts the paper's semi-Markov baseline. The draft only
+	// moves the acceptance rate, never the output distribution.
+	DraftModel DraftModel
+	// Stats, when non-nil, accumulates the decode counters of every
+	// BatchDecoder the call used (added atomically as workers finish):
+	// scheduling steps plus, under Speculative, proposed/accepted draft
+	// tokens — the acceptance-rate telemetry.
+	Stats *DecodeStats
 }
 
 // parallelism resolves the effective worker count.
@@ -72,6 +99,26 @@ func (o GenOpts) parallelism() int {
 // regardless of parallelism and batching.
 func streamSeed(seed uint64, i int) uint64 {
 	return seed ^ (uint64(i)+1)*0x9e3779b97f4a7c15
+}
+
+// bootStream performs one stream's bootstrap: identity stamp, initial-event
+// draw from the released distribution, optional start-window offset, and
+// the first emitted event, consuming the stream's own RNG. Like sampleStep
+// for the per-token draws, this is the single copy of the bootstrap draw
+// order (init.Sample, then the StartWindow uniform) that the serial,
+// lockstep, continuous and speculative schedulers all share — the
+// bit-identical-output and per-seed determinism contracts are exactly
+// "same draws in the same order", so this helper is the only place that
+// order may be defined.
+func bootStream(s *trace.Stream, globalIdx int, opts GenOpts, init *stats.Categorical, vocab []events.Type, rng *rand.Rand) (evIdx int, start float64) {
+	s.UEID = fmt.Sprintf("gen-%s-%06d", opts.Device, globalIdx)
+	s.Device = opts.Device
+	evIdx = init.Sample(rng)
+	if opts.StartWindow > 0 {
+		start = rng.Float64() * opts.StartWindow
+	}
+	s.Events = append(s.Events, trace.Event{Time: start, Type: vocab[evIdx]})
+	return evIdx, start
 }
 
 // Generate synthesizes a dataset of NumStreams independent UE streams by
@@ -114,9 +161,18 @@ func (m *Model) Generate(opts GenOpts) (*trace.Dataset, error) {
 		return nil, fmt.Errorf("cptgpt: invalid initial-event distribution: %w", err)
 	}
 
+	// Speculative decoding resolves its draft model once, up front, so all
+	// workers share it (the self-draft fit itself decodes plainly).
+	var draft DraftModel
+	if opts.Speculative {
+		if draft = opts.DraftModel; draft == nil {
+			draft = m.SelfDraft()
+		}
+	}
+
 	streams := make([]trace.Stream, opts.NumStreams)
 	var wg sync.WaitGroup
-	if opts.Lockstep {
+	if opts.Lockstep && !opts.Speculative {
 		// Legacy scheduler: fixed index ranges, each batch retired in full.
 		jobs := make(chan int)
 		for w := 0; w < workers; w++ {
@@ -125,6 +181,7 @@ func (m *Model) Generate(opts GenOpts) (*trace.Dataset, error) {
 				defer wg.Done()
 				// One decoder per worker, reused (Reset) across its batches.
 				dec := m.NewBatchDecoder(batch, opts.Precision)
+				defer func() { addDecodeStats(opts.Stats, dec.Stats()) }()
 				for bi := range jobs {
 					lo := bi * batch
 					hi := min(lo+batch, opts.NumStreams)
@@ -143,7 +200,12 @@ func (m *Model) Generate(opts GenOpts) (*trace.Dataset, error) {
 			go func() {
 				defer wg.Done()
 				dec := m.NewBatchDecoder(batch, opts.Precision)
-				m.sampleContinuous(dec, streams, 0, &next, opts, init)
+				defer func() { addDecodeStats(opts.Stats, dec.Stats()) }()
+				if opts.Speculative {
+					m.sampleSpeculative(dec, streams, 0, &next, opts, init, draft)
+				} else {
+					m.sampleContinuous(dec, streams, 0, &next, opts, init)
+				}
 			}()
 		}
 	}
@@ -184,12 +246,21 @@ func (m *Model) GenerateRange(lo, hi int, opts GenOpts) ([]trace.Stream, error) 
 	}
 	streams := make([]trace.Stream, n)
 	dec := m.NewBatchDecoder(batch, opts.Precision)
-	if opts.Lockstep {
+	defer func() { addDecodeStats(opts.Stats, dec.Stats()) }()
+	switch {
+	case opts.Speculative:
+		draft := opts.DraftModel
+		if draft == nil {
+			draft = m.SelfDraft()
+		}
+		var next atomic.Int64
+		m.sampleSpeculative(dec, streams, lo, &next, opts, init, draft)
+	case opts.Lockstep:
 		for blo := 0; blo < n; blo += batch {
 			bhi := min(blo+batch, n)
 			m.sampleBatch(dec, streams[blo:bhi], lo+blo, opts, init)
 		}
-	} else {
+	default:
 		var next atomic.Int64
 		m.sampleContinuous(dec, streams, lo, &next, opts, init)
 	}
@@ -247,25 +318,18 @@ func (m *Model) sampleContinuous(dec *BatchDecoder, out []trace.Stream, baseIdx 
 		return -1
 	}
 
-	// seat boots stream li into slot: reset the slot, bootstrap the stream
-	// exactly as the serial reference path does (same RNG draws in the same
-	// order), and report whether the stream still needs decode steps.
+	// seat boots stream li into slot via the shared bootStream helper (same
+	// RNG draws in the same order as every other scheduler) and reports
+	// whether the stream still needs decode steps.
 	seat := func(slot, li int) bool {
 		dec.ResetSlot(slot)
 		rng := stats.NewRand(streamSeed(opts.Seed, baseIdx+li))
 		rngs[slot] = rng
 		cur[slot] = li
 		s := &out[li]
-		s.UEID = fmt.Sprintf("gen-%s-%06d", opts.Device, baseIdx+li)
-		s.Device = opts.Device
-
-		evIdx := init.Sample(rng)
+		evIdx, start := bootStream(s, baseIdx+li, opts, init, vocab, rng)
 		m.Tok.writeToken(toks[slot*dim:(slot+1)*dim], evIdx, 0, 0)
-		times[slot] = 0
-		if opts.StartWindow > 0 {
-			times[slot] = rng.Float64() * opts.StartWindow
-		}
-		s.Events = append(s.Events, trace.Event{Time: times[slot], Type: vocab[evIdx]})
+		times[slot] = start
 		return len(s.Events) < m.Cfg.MaxLen
 	}
 
@@ -334,21 +398,15 @@ func (m *Model) sampleBatch(dec *BatchDecoder, out []trace.Stream, baseIdx int, 
 	probs := make([]float64, m.Tok.V())
 	active := make([]int, 0, n)
 
-	// Bootstrap every stream exactly as the serial reference path does,
-	// consuming the same RNG draws in the same order.
+	// Bootstrap every stream through the shared helper, consuming the same
+	// RNG draws in the same order as the serial reference path.
 	for i := range out {
 		rng := stats.NewRand(streamSeed(opts.Seed, baseIdx+i))
 		rngs[i] = rng
 		s := &out[i]
-		s.UEID = fmt.Sprintf("gen-%s-%06d", opts.Device, baseIdx+i)
-		s.Device = opts.Device
-
-		evIdx := init.Sample(rng)
+		evIdx, start := bootStream(s, baseIdx+i, opts, init, vocab, rng)
 		m.Tok.writeToken(toks[i*dim:(i+1)*dim], evIdx, 0, 0)
-		if opts.StartWindow > 0 {
-			times[i] = rng.Float64() * opts.StartWindow
-		}
-		s.Events = append(s.Events, trace.Event{Time: times[i], Type: vocab[evIdx]})
+		times[i] = start
 		if len(s.Events) < m.Cfg.MaxLen {
 			active = append(active, i)
 		}
@@ -382,21 +440,13 @@ func (m *Model) sampleStream(idx int, opts GenOpts, init *stats.Categorical, rng
 	vocab := m.Tok.Vocab()
 	dec := newDecoder(m)
 
-	s := trace.Stream{
-		UEID:   fmt.Sprintf("gen-%s-%06d", opts.Device, idx),
-		Device: opts.Device,
-	}
-
-	// Bootstrap token: sampled initial event, interarrival 0, stop 0.
-	evIdx := init.Sample(rng)
+	// Bootstrap token: sampled initial event, interarrival 0, stop 0 (the
+	// shared helper defines the draw order).
+	var s trace.Stream
+	evIdx, t := bootStream(&s, idx, opts, init, vocab, rng)
 	tok := make([]float64, m.Tok.Dim())
 	probs := make([]float64, m.Tok.V())
 	m.Tok.writeToken(tok, evIdx, 0, 0)
-	t := 0.0
-	if opts.StartWindow > 0 {
-		t = rng.Float64() * opts.StartWindow
-	}
-	s.Events = append(s.Events, trace.Event{Time: t, Type: vocab[evIdx]})
 
 	for len(s.Events) < m.Cfg.MaxLen {
 		nextEv, scaled, stopIdx := m.sampleStep(dec.step(tok), opts.Temperature, rng, probs)

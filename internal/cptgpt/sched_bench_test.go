@@ -61,8 +61,8 @@ func benchScheduling(b *testing.B, lockstep bool) {
 		}
 	}
 	b.StopTimer()
-	steps, slotSteps := dec.Stats()
-	b.ReportMetric(100*float64(slotSteps)/(float64(steps)*slots), "util%")
+	st := dec.Stats()
+	b.ReportMetric(100*float64(st.SlotSteps)/(float64(st.Steps)*slots), "util%")
 	b.ReportMetric(float64(b.Elapsed().Nanoseconds())/float64(b.N*opts.NumStreams), "ns/stream")
 }
 

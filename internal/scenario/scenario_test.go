@@ -387,6 +387,67 @@ func TestCPTGPTSourcePrecision(t *testing.T) {
 	}
 }
 
+// TestCPTGPTSourceSpeculative runs a cptgpt-model source through the
+// pipeline with speculative decoding: spec-declared speculation must be
+// deterministic across Parallelism × BatchSize, the run-wide override must
+// switch it on/off against the spec, and a bad override must error.
+func TestCPTGPTSourceSpeculative(t *testing.T) {
+	cfg := cptgpt.DefaultConfig()
+	cfg.DModel = 16
+	cfg.Heads = 2
+	cfg.MLPHidden = 32
+	cfg.HeadHidden = 16
+	cfg.MaxLen = 40
+	tk := cptgpt.Tokenizer{Gen: events.Gen4G, MinLog: 0, MaxLog: 5, LogScale: true}
+	m, err := cptgpt.NewModel(cfg, tk)
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(t.TempDir(), "m.bin")
+	if err := m.SaveFile(path); err != nil {
+		t.Fatal(err)
+	}
+	spec := &Spec{
+		Name: "speculative-test", Generation: "4G", Seed: 3, HorizonSec: 600, Population: 40,
+		Sources: []SourceSpec{{ID: "gpt", Kind: "cptgpt", ModelFile: path, Share: 1,
+			Speculative: true, DraftTokens: 3}},
+	}
+	if err := spec.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	specA := drainAll(t, spec, RunOpts{})
+	if len(specA) == 0 {
+		t.Fatal("speculative scenario emitted no events")
+	}
+	specB := drainAll(t, spec, RunOpts{Parallelism: 2, BatchSize: 8})
+	if !reflect.DeepEqual(specA, specB) {
+		t.Fatal("speculative scenario output differs across Parallelism × BatchSize")
+	}
+	// "off" override must reproduce the plain-decode pipeline exactly.
+	plainSpec := *spec
+	plainSpec.Sources = append([]SourceSpec(nil), spec.Sources...)
+	plainSpec.Sources[0].Speculative = false
+	plain := drainAll(t, &plainSpec, RunOpts{})
+	off := drainAll(t, spec, RunOpts{Speculative: "off"})
+	if !reflect.DeepEqual(plain, off) {
+		t.Fatal(`RunOpts.Speculative "off" must match a non-speculative spec`)
+	}
+	// "on" override over the plain spec must match the speculative spec.
+	on := drainAll(t, &plainSpec, RunOpts{Speculative: "on", DraftTokens: 3})
+	if !reflect.DeepEqual(specA, on) {
+		t.Fatal(`RunOpts.Speculative "on" must match a speculative spec`)
+	}
+	if _, err := spec.Open(RunOpts{Speculative: "sometimes"}); err == nil {
+		t.Fatal("bad RunOpts.Speculative must error")
+	}
+	bad := *spec
+	bad.Sources = append([]SourceSpec(nil), spec.Sources...)
+	bad.Sources[0].DraftTokens = -1
+	if err := bad.Validate(); err == nil {
+		t.Fatal("negative draft_tokens must fail validation")
+	}
+}
+
 // A custom ChunkFunc binds an arbitrary generator into a spec.
 func TestCustomSourceBinding(t *testing.T) {
 	spec := &Spec{

@@ -133,12 +133,32 @@ func resolveSources(spec *Spec, opts RunOpts, total int) ([]boundSource, error) 
 			if err != nil {
 				return nil, fmt.Errorf("scenario: source %q: %w", src.ID, err)
 			}
+			// Speculative decoding: the source's declared setting, with the
+			// run-wide override on top (same pattern as precision). The
+			// draft is the loaded model's self-fitted n-gram — fitted once
+			// on the first chunk, cached on the model for the rest.
+			speculative := src.Speculative
+			switch opts.Speculative {
+			case "":
+			case "on":
+				speculative = true
+			case "off":
+				speculative = false
+			default:
+				return nil, fmt.Errorf("scenario: source %q: unknown speculative override %q (want on, off or empty)", src.ID, opts.Speculative)
+			}
+			draftK := src.DraftTokens
+			if opts.DraftTokens > 0 {
+				draftK = opts.DraftTokens
+			}
 			genOpts := cptgpt.GenOpts{
 				Device:      dev,
 				Seed:        sourceSeed(spec, i),
 				Temperature: src.Temperature,
 				Precision:   prec,
 				BatchSize:   opts.decodeBatch(),
+				Speculative: speculative,
+				DraftTokens: draftK,
 				// Spread stream starts over the horizon; ramp ops can
 				// re-stage populations on top of this.
 				StartWindow: spec.HorizonSec,

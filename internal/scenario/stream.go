@@ -80,6 +80,15 @@ type RunOpts struct {
 	// spec setting. Output is deterministic per precision: for a fixed
 	// precision it is identical at every Parallelism × BatchSize.
 	Precision string
+	// Speculative overrides every cptgpt source's speculative-decoding
+	// setting for this run: "on" forces it, "off" disables it, "" keeps
+	// each source's spec setting. Speculative output is deterministic per
+	// seed and distributionally exact, but differs stream-by-stream from
+	// plain decoding (different RNG consumption).
+	Speculative string
+	// DraftTokens overrides the speculation depth run-wide (0 keeps each
+	// source's spec setting, or the engine default).
+	DraftTokens int
 	// Sources binds custom generators to spec source IDs (required for
 	// kind "custom", optional override for any other kind).
 	Sources map[string]ChunkFunc

@@ -1,11 +1,13 @@
 package smm
 
 import (
+	"math"
 	"reflect"
 	"testing"
 
 	"cptgpt/internal/events"
 	"cptgpt/internal/metrics"
+	"cptgpt/internal/statemachine"
 	"cptgpt/internal/synthetic"
 	"cptgpt/internal/trace"
 )
@@ -202,6 +204,120 @@ func TestGenerateParallelismInvariant(t *testing.T) {
 				if w.Events[j] != g.Events[j] {
 					t.Fatalf("parallelism %d: stream %d event %d = %+v, want %+v", p, i, j, g.Events[j], w.Events[j])
 				}
+			}
+		}
+	}
+}
+
+// TestProposeNext pins the conditional proposer API speculative decoding
+// drafts from: at every state a fitted model can leave, the proposal lists
+// machine-valid events in vocabulary order with probabilities summing to 1
+// and finite log-sojourn moments; states the training data never leaves
+// report ok = false.
+func TestProposeNext(t *testing.T) {
+	d := groundTruth(t, 5, 200)
+	m, err := Fit(d, DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	machine := statemachine.New(events.Gen4G)
+	found := 0
+	for _, st := range machine.States() {
+		p, ok := m.ProposeNext(st)
+		if !ok {
+			if p != nil {
+				t.Fatalf("state %s: ok=false with non-nil proposal", st)
+			}
+			continue
+		}
+		found++
+		if len(p.Events) == 0 || len(p.Events) != len(p.Probs) ||
+			len(p.Events) != len(p.SojournLogMean) || len(p.Events) != len(p.SojournLogStd) {
+			t.Fatalf("state %s: ragged proposal %+v", st, p)
+		}
+		var sum float64
+		prevIdx := -1
+		for i, e := range p.Events {
+			if _, ok := machine.Step(st, e); !ok {
+				t.Fatalf("state %s proposes machine-invalid event %s", st, e)
+			}
+			if idx := events.VocabIndex(events.Gen4G, e); idx <= prevIdx {
+				t.Fatalf("state %s: events not in vocabulary order", st)
+			} else {
+				prevIdx = idx
+			}
+			if p.Probs[i] <= 0 {
+				t.Fatalf("state %s event %s: non-positive probability %v", st, e, p.Probs[i])
+			}
+			if math.IsNaN(p.SojournLogMean[i]) || math.IsNaN(p.SojournLogStd[i]) || p.SojournLogStd[i] < 0 {
+				t.Fatalf("state %s event %s: bad sojourn moments (%v, %v)", st, e, p.SojournLogMean[i], p.SojournLogStd[i])
+			}
+			sum += p.Probs[i]
+		}
+		if math.Abs(sum-1) > 1e-9 {
+			t.Fatalf("state %s: probabilities sum to %v", st, sum)
+		}
+		// Cached: same pointer on repeat.
+		if p2, _ := m.ProposeNext(st); p2 != p {
+			t.Fatalf("state %s: proposal not cached", st)
+		}
+	}
+	if found == 0 {
+		t.Fatal("no state produced a proposal")
+	}
+}
+
+// TestProposeNextMatchesCounts checks the single-cluster case against direct
+// transition counting on a hand-built dataset: two streams whose CONNECTED
+// state leaves via SRV_REQ-path transitions with known frequencies.
+func TestProposeNextMatchesCounts(t *testing.T) {
+	d := groundTruth(t, 6, 300)
+	m, err := Fit(d, DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	machine := statemachine.New(events.Gen4G)
+
+	// Recount transitions exactly as fitCluster walks streams.
+	counts := make(map[statemachine.State]map[events.Type]float64)
+	for i := range d.Streams {
+		evs := d.Streams[i].Types()
+		start := -1
+		var st statemachine.State
+		for j, e := range evs {
+			if s, ok := machine.Bootstrap(e); ok {
+				st, start = s, j
+				break
+			}
+		}
+		if start < 0 {
+			continue
+		}
+		for j := start + 1; j < len(evs); j++ {
+			next, ok := machine.Step(st, evs[j])
+			if !ok {
+				continue
+			}
+			if counts[st] == nil {
+				counts[st] = make(map[events.Type]float64)
+			}
+			counts[st][evs[j]]++
+			st = next
+		}
+	}
+	for st, byEv := range counts {
+		var total float64
+		for _, c := range byEv {
+			total += c
+		}
+		p, ok := m.ProposeNext(st)
+		if !ok {
+			t.Fatalf("state %s has %v observed transitions but no proposal", st, total)
+		}
+		for i, e := range p.Events {
+			want := byEv[e] / total
+			if math.Abs(p.Probs[i]-want) > 1e-9 {
+				t.Fatalf("state %s event %s: prob %v, want %v", st, e, p.Probs[i], want)
 			}
 		}
 	}

@@ -1,0 +1,126 @@
+package tensor
+
+import "sync/atomic"
+
+// Multi-row float32 GEMM backing the speculative-decoding verify kernel.
+//
+// Plain decoding is one matvec per slot per layer: every weight element is
+// loaded for exactly one multiply, so the scalar kernels in f32.go sit at the
+// scalar FP port limit (~1 MAC/cycle) and nothing short of wider arithmetic
+// moves them. The verify pass of speculative decoding is different work: a
+// slot arrives with k *known* token rows (the draft chain), so each layer is
+// a k-row × panel GEMM — prefill-shaped, not decode-shaped — and the kernel
+// may amortize every weight load over k rows and use SIMD lanes.
+//
+// GemmF32 therefore has two implementations:
+//
+//   - an AVX2+FMA assembly kernel (amd64, runtime-detected) that processes
+//     the reduction 8 lanes at a time with 4 independent accumulators —
+//     the source of the speculative-decode throughput headline;
+//   - a portable scalar fallback whose per-row arithmetic and reduction
+//     order are exactly MatVecF32's, so on machines without AVX2 (or with
+//     the kill switch thrown) a k-row GEMM is bit-identical to k matvecs.
+//
+// Both implementations are deterministic: each has a fixed reduction order,
+// so a given machine and kill-switch setting always reproduces the same
+// bits. The two orders differ (8-lane tree vs 4-chain pairwise), which is
+// why the assembly kernel is only ever used on the speculative path — the
+// non-speculative F32 decode contract ("bit-identical to PR 4 at every
+// parallelism and batch size") never routes through GemmF32.
+
+// gemmAsmAvailable reports whether the platform provides the assembly
+// kernel (set by gemm32_amd64.go / gemm32_noasm.go at init).
+var gemmAsmAvailable = hasGemmAsm()
+
+// gemmAsmEnabled gates dispatch to the assembly kernel; it starts at the
+// platform's capability and can be lowered (never raised past capability)
+// via SetGemmF32Asm.
+var gemmAsmEnabled atomic.Bool
+
+func init() {
+	gemmAsmEnabled.Store(gemmAsmAvailable)
+}
+
+// GemmF32Asm reports whether GemmF32 currently dispatches to the AVX2
+// assembly kernel.
+func GemmF32Asm() bool { return gemmAsmEnabled.Load() }
+
+// SetGemmF32Asm enables or disables the assembly GEMM kernel, returning the
+// previous setting. Enabling is a no-op on machines without AVX2+FMA. The
+// scalar fallback makes speculative verification bit-identical to the plain
+// step kernels, at scalar speed — useful for cross-checking and for pinning
+// tests to one arithmetic.
+func SetGemmF32Asm(on bool) (prev bool) {
+	prev = gemmAsmEnabled.Load()
+	gemmAsmEnabled.Store(on && gemmAsmAvailable)
+	return prev
+}
+
+// GemmF32 computes dst[r*out+j] = bias[j] + x[r*in:]·wT[j*in:] for
+// r in [0, rows) and j in [0, out): rows row-major input rows against a
+// transposed (out×in) weight panel, the layer shape of the multi-token
+// verify pass. Row results are independent of rows batched together.
+func GemmF32(dst, wT, bias, x []float32, rows, in, out int) {
+	if rows <= 0 || out <= 0 {
+		return
+	}
+	// Bounds are hoisted here so both kernels can run unchecked.
+	_ = dst[rows*out-1]
+	_ = bias[out-1]
+	if in > 0 {
+		_ = wT[out*in-1]
+		_ = x[rows*in-1]
+	} else {
+		// Degenerate reduction: every output is its bias.
+		for r := 0; r < rows; r++ {
+			copy(dst[r*out:(r+1)*out], bias[:out])
+		}
+		return
+	}
+	if gemmAsmEnabled.Load() {
+		gemmF32Asm(&dst[0], &wT[0], &bias[0], &x[0], rows, in, out)
+		return
+	}
+	gemmF32Scalar(dst, wT, bias, x, rows, in, out)
+}
+
+// gemmF32Scalar is the portable kernel: output rows in the same 4/2/1
+// register blocks as MatVecF32, input rows inner so each weight block stays
+// hot across the row group. Per-row reduction order is exactly MatVecF32's,
+// so a k-row GEMM equals k independent matvecs bit-for-bit.
+func gemmF32Scalar(dst, wT, bias, x []float32, rows, in, out int) {
+	j := 0
+	for ; j+4 <= out; j += 4 {
+		w0 := wT[j*in : (j+1)*in]
+		w1 := wT[(j+1)*in : (j+2)*in]
+		w2 := wT[(j+2)*in : (j+3)*in]
+		w3 := wT[(j+3)*in : (j+4)*in]
+		b0, b1, b2, b3 := bias[j], bias[j+1], bias[j+2], bias[j+3]
+		for r := 0; r < rows; r++ {
+			xr := x[r*in : r*in+in]
+			r0, r1, r2, r3 := Dot4F32(xr, w0, w1, w2, w3)
+			d := dst[r*out+j : r*out+j+4]
+			d[0] = b0 + r0
+			d[1] = b1 + r1
+			d[2] = b2 + r2
+			d[3] = b3 + r3
+		}
+	}
+	if j+2 <= out {
+		w0 := wT[j*in : (j+1)*in]
+		w1 := wT[(j+1)*in : (j+2)*in]
+		for r := 0; r < rows; r++ {
+			xr := x[r*in : r*in+in]
+			r0, r1 := Dot2F32(xr, w0, w1)
+			dst[r*out+j] = bias[j] + r0
+			dst[r*out+j+1] = bias[j+1] + r1
+		}
+		j += 2
+	}
+	if j < out {
+		w0 := wT[j*in : (j+1)*in]
+		for r := 0; r < rows; r++ {
+			dst[r*out+j] = bias[j] + Dot1F32(x[r*in:r*in+in], w0)
+		}
+	}
+}

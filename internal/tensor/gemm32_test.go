@@ -1,0 +1,166 @@
+package tensor
+
+import (
+	"fmt"
+	"math"
+	"testing"
+
+	"cptgpt/internal/stats"
+)
+
+// gemmF32Ref is a straightforward float64-accumulated reference.
+func gemmF32Ref(dst, wT, bias, x []float32, rows, in, out int) {
+	for r := 0; r < rows; r++ {
+		for j := 0; j < out; j++ {
+			acc := float64(bias[j])
+			for i := 0; i < in; i++ {
+				acc += float64(x[r*in+i]) * float64(wT[j*in+i])
+			}
+			dst[r*out+j] = float32(acc)
+		}
+	}
+}
+
+func randF32(n int, seed uint64) []float32 {
+	rng := stats.NewRand(seed)
+	s := make([]float32, n)
+	for i := range s {
+		s[i] = float32(rng.NormFloat64())
+	}
+	return s
+}
+
+// TestGemmF32Shapes exercises both kernels over awkward shapes (reduction
+// tails shorter than every unroll width, 1-row and odd-output panels),
+// comparing against the float64 reference within a float32 reduction-error
+// tolerance.
+func TestGemmF32Shapes(t *testing.T) {
+	shapes := []struct{ rows, in, out int }{
+		{1, 1, 1}, {1, 7, 3}, {2, 8, 2}, {3, 10, 5}, {4, 128, 128},
+		{5, 128, 1024}, {4, 1024, 128}, {2, 33, 7}, {3, 40, 6}, {6, 64, 2},
+		{1, 130, 1}, {7, 9, 9},
+	}
+	for _, asm := range []bool{false, true} {
+		if asm && !gemmAsmAvailable {
+			continue
+		}
+		prev := SetGemmF32Asm(asm)
+		for _, s := range shapes {
+			wT := randF32(s.out*s.in, 1)
+			bias := randF32(s.out, 2)
+			x := randF32(s.rows*s.in, 3)
+			got := make([]float32, s.rows*s.out)
+			want := make([]float32, s.rows*s.out)
+			GemmF32(got, wT, bias, x, s.rows, s.in, s.out)
+			gemmF32Ref(want, wT, bias, x, s.rows, s.in, s.out)
+			for i := range want {
+				diff := math.Abs(float64(got[i] - want[i]))
+				// Allow float32 reduction error growing with the length.
+				tol := 1e-5 * (1 + math.Abs(float64(want[i]))) * math.Sqrt(float64(s.in))
+				if diff > tol || math.IsNaN(float64(got[i])) {
+					t.Fatalf("asm=%v shape %v: dst[%d] = %v, want %v (|Δ| %.2e > %.2e)",
+						asm, s, i, got[i], want[i], diff, tol)
+				}
+			}
+		}
+		SetGemmF32Asm(prev)
+	}
+}
+
+// TestGemmF32ScalarMatchesMatVec pins the fallback's bit-compatibility
+// contract: a k-row scalar GEMM equals k independent MatVecF32 calls exactly,
+// which is what makes speculative verification bit-identical to plain
+// stepping on machines without the assembly kernel.
+func TestGemmF32ScalarMatchesMatVec(t *testing.T) {
+	const rows, in, out = 5, 128, 67
+	wT := randF32(out*in, 4)
+	bias := randF32(out, 5)
+	x := randF32(rows*in, 6)
+	got := make([]float32, rows*out)
+	gemmF32Scalar(got, wT, bias, x, rows, in, out)
+	want := make([]float32, out)
+	for r := 0; r < rows; r++ {
+		MatVecF32(want, wT, bias, x[r*in:(r+1)*in], in, out)
+		for j := range want {
+			if got[r*out+j] != want[j] {
+				t.Fatalf("row %d out %d: gemm %v != matvec %v", r, j, got[r*out+j], want[j])
+			}
+		}
+	}
+}
+
+// TestGemmF32Deterministic requires repeated calls to produce identical bits
+// (each kernel has a fixed reduction order).
+func TestGemmF32Deterministic(t *testing.T) {
+	const rows, in, out = 4, 129, 33
+	wT := randF32(out*in, 7)
+	bias := randF32(out, 8)
+	x := randF32(rows*in, 9)
+	for _, asm := range []bool{false, true} {
+		if asm && !gemmAsmAvailable {
+			continue
+		}
+		prev := SetGemmF32Asm(asm)
+		a := make([]float32, rows*out)
+		b := make([]float32, rows*out)
+		GemmF32(a, wT, bias, x, rows, in, out)
+		GemmF32(b, wT, bias, x, rows, in, out)
+		for i := range a {
+			if a[i] != b[i] {
+				t.Fatalf("asm=%v: nondeterministic at %d: %v vs %v", asm, i, a[i], b[i])
+			}
+		}
+		SetGemmF32Asm(prev)
+	}
+}
+
+// TestGemmF32KillSwitch pins SetGemmF32Asm semantics: it reports the prior
+// state, never enables beyond platform capability, and GemmF32Asm tracks it.
+func TestGemmF32KillSwitch(t *testing.T) {
+	orig := GemmF32Asm()
+	defer SetGemmF32Asm(orig)
+	if prev := SetGemmF32Asm(false); prev != orig {
+		t.Fatalf("SetGemmF32Asm(false) reported prev %v, want %v", prev, orig)
+	}
+	if GemmF32Asm() {
+		t.Fatal("kill switch did not disable the asm kernel")
+	}
+	SetGemmF32Asm(true)
+	if GemmF32Asm() != gemmAsmAvailable {
+		t.Fatalf("enabling asm: got %v, want capability %v", GemmF32Asm(), gemmAsmAvailable)
+	}
+}
+
+// BenchmarkGemmF32 times the kernels at the verify pass's dominant shape
+// (k=5 rows against the paper-scale FF panels).
+func BenchmarkGemmF32(b *testing.B) {
+	for _, c := range []struct {
+		name          string
+		rows, in, out int
+	}{
+		{"5x128x1024", 5, 128, 1024},
+		{"5x1024x128", 5, 1024, 128},
+		{"5x128x128", 5, 128, 128},
+		{"1x128x128", 1, 128, 128},
+	} {
+		wT := randF32(c.out*c.in, 1)
+		bias := randF32(c.out, 2)
+		x := randF32(c.rows*c.in, 3)
+		dst := make([]float32, c.rows*c.out)
+		for _, asm := range []bool{true, false} {
+			if asm && !gemmAsmAvailable {
+				continue
+			}
+			name := fmt.Sprintf("%s/asm=%v", c.name, asm)
+			b.Run(name, func(b *testing.B) {
+				prev := SetGemmF32Asm(asm)
+				defer SetGemmF32Asm(prev)
+				b.SetBytes(int64(4 * c.in * c.out))
+				for i := 0; i < b.N; i++ {
+					GemmF32(dst, wT, bias, x, c.rows, c.in, c.out)
+				}
+				b.ReportMetric(float64(b.N)*float64(c.rows)*float64(c.in)*float64(c.out)/b.Elapsed().Seconds()/1e9, "GMAC/s")
+			})
+		}
+	}
+}
