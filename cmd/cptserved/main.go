@@ -1,0 +1,84 @@
+// Command cptserved is the long-running traffic-generation daemon: it
+// loads CPT-GPT models once at startup, then runs scenarios on demand via
+// an HTTP management API, pacing event emission against wall-clock time
+// and exposing live telemetry. See docs/OPERATIONS.md for the API and a
+// worked walkthrough.
+//
+// Usage:
+//
+//	cptserved [-addr 127.0.0.1:8080] [-preload model.cptgpt]... \
+//	          [-tmp DIR] [-parallelism N] [-keep N]
+//
+// SIGINT/SIGTERM stop every run with a clean drain (sinks flush their
+// last released event) before the process exits.
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"cptgpt/internal/mcn"
+	"cptgpt/internal/served"
+)
+
+func main() {
+	addr := flag.String("addr", "127.0.0.1:8080", "listen address")
+	tmp := flag.String("tmp", "", "spill directory for run files (default: system temp dir)")
+	parallelism := flag.Int("parallelism", 0, "default generation worker bound per run (0 = engine default)")
+	keep := flag.Int("keep", 0, "finished runs retained before eviction (0 = default)")
+	drain := flag.Duration("drain", 30*time.Second, "graceful-shutdown drain budget")
+	var preload []string
+	flag.Func("preload", "model file to load at startup (repeatable)", func(p string) error {
+		preload = append(preload, p)
+		return nil
+	})
+	flag.Parse()
+	if flag.NArg() != 0 {
+		fmt.Fprintf(os.Stderr, "cptserved: unexpected arguments %v\n", flag.Args())
+		os.Exit(2)
+	}
+
+	s := served.New(served.Options{
+		TempDir:         *tmp,
+		Parallelism:     *parallelism,
+		MaxFinishedRuns: *keep,
+		MCN:             mcn.DefaultConfig(),
+	})
+	for _, p := range preload {
+		if err := s.PreloadModel(p); err != nil {
+			log.Fatalf("preload %s: %v", p, err)
+		}
+		log.Printf("preloaded model %s", p)
+	}
+
+	srv := &http.Server{Addr: *addr, Handler: s.Handler()}
+	errCh := make(chan error, 1)
+	go func() { errCh <- srv.ListenAndServe() }()
+	log.Printf("cptserved listening on %s", *addr)
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, syscall.SIGINT, syscall.SIGTERM)
+	select {
+	case err := <-errCh:
+		log.Fatalf("serve: %v", err)
+	case got := <-sig:
+		log.Printf("received %v, draining runs", got)
+	}
+
+	ctx, cancel := context.WithTimeout(context.Background(), *drain)
+	defer cancel()
+	if err := s.Close(ctx); err != nil {
+		log.Printf("drain incomplete: %v", err)
+	}
+	if err := srv.Shutdown(ctx); err != nil {
+		log.Printf("http shutdown: %v", err)
+	}
+	log.Printf("cptserved stopped")
+}

@@ -1,0 +1,54 @@
+#!/bin/sh
+# Runnable version of the docs/OPERATIONS.md walkthrough: start cptserved,
+# drive the flash-crowd builtin into the simulated mobile core at
+# compressed time, watch p99 latency and the autoscaler react, stop the
+# run, and shut the daemon down cleanly.
+#
+# Usage: examples/served/run.sh [compression] [ues]
+# Needs: go, curl. No model files — the builtin runs on the synthetic
+# generator. The daemon listens on an ephemeral localhost port.
+set -eu
+
+COMPRESSION=${1:-60}
+UES=${2:-3000}
+ADDR=127.0.0.1:${CPTSERVED_PORT:-18080}
+cd "$(dirname "$0")/../.."
+
+echo "== building and starting cptserved on $ADDR"
+go build -o /tmp/cptserved.example ./cmd/cptserved
+/tmp/cptserved.example -addr "$ADDR" &
+DAEMON=$!
+trap 'kill -TERM $DAEMON 2>/dev/null; wait $DAEMON 2>/dev/null || true' EXIT
+
+# Wait for the daemon to come up.
+for _ in $(seq 1 50); do
+    curl -sf "http://$ADDR/healthz" >/dev/null 2>&1 && break
+    sleep 0.1
+done
+curl -sf "http://$ADDR/healthz" >/dev/null
+
+echo "== starting flash-crowd: $UES UEs, compression $COMPRESSION, mcn sink"
+RESP=$(curl -sf -X POST "http://$ADDR/runs" \
+    -d "{\"scenario\": \"flash-crowd\", \"ues\": $UES,
+         \"compression\": $COMPRESSION, \"sink\": \"mcn\"}")
+RUN=$(printf '%s' "$RESP" | sed -n 's/.*"id": "\([^"]*\)".*/\1/p')
+echo "   run id: $RUN"
+
+echo "== watching p99 latency / instances / connected UEs (8 samples)"
+for _ in $(seq 1 8); do
+    sleep 2
+    STATS=$(curl -sf "http://$ADDR/runs/$RUN/stats")
+    printf '%s\n' "$STATS" | tr ',' '\n' | tr -d ' "{}' \
+        | grep -E '^(state|events|latency_p99_ms|instances|connected_ues):' \
+        | paste -sd' ' -
+    STATE=$(printf '%s' "$STATS" | sed -n 's/.*"state": "\([^"]*\)".*/\1/p')
+    [ "$STATE" = done ] && break
+done
+
+echo "== the same telemetry, Prometheus-shaped"
+curl -sf "http://$ADDR/metrics" | grep -E 'cptserved_(mcn_latency_seconds.*p99|mcn_instances|run_events_total)' || true
+
+echo "== stopping the run (clean drain; partial mcn report in result)"
+curl -sf -X DELETE "http://$ADDR/runs/$RUN"
+echo
+echo "== done — daemon shuts down via trap"

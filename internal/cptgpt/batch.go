@@ -201,6 +201,18 @@ type DecodeStats struct {
 	DraftProposed, DraftAccepted int64
 }
 
+// Load atomically snapshots a DecodeStats that other goroutines are still
+// accumulating into (a GenOpts.Stats sink mid-generation). Each field is
+// read atomically; the fields may be mid-update relative to one another.
+func (s *DecodeStats) Load() DecodeStats {
+	return DecodeStats{
+		Steps:         atomic.LoadInt64(&s.Steps),
+		SlotSteps:     atomic.LoadInt64(&s.SlotSteps),
+		DraftProposed: atomic.LoadInt64(&s.DraftProposed),
+		DraftAccepted: atomic.LoadInt64(&s.DraftAccepted),
+	}
+}
+
 // Stats returns a consistent-enough snapshot of the decoder's lifetime
 // counters. It is safe to call concurrently with Step/StepK (each counter is
 // read atomically; the counters may be mid-update relative to one another).

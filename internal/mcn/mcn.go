@@ -18,6 +18,17 @@
 // (exact mean, percentile values rounded up to a bucket edge ≤ 16%/decade
 // apart), so the simulator's memory footprint is O(per-UE state), never
 // O(events).
+//
+// Concurrency contract: Run/RunStream are synchronous and single-threaded —
+// the simulation loop owns all of its state and two concurrent calls never
+// share anything. The one cross-goroutine surface is Config.Live: when set,
+// the loop publishes progress into LiveStats' atomic fields (counters per
+// arrival; latency quantiles and instance counts at every metering-window
+// close and every liveQuantileEvery arrivals), and any number of goroutines
+// may read them while the run is in flight — that is what backs the
+// cptserved daemon's mid-run /stats and /metrics. Determinism: the
+// simulation is pure virtual time — results depend only on the arrival
+// sequence and Config, never on wall-clock pacing or readers.
 package mcn
 
 import (
@@ -25,6 +36,7 @@ import (
 	"fmt"
 	"math"
 	"sort"
+	"sync/atomic"
 
 	"cptgpt/internal/events"
 	"cptgpt/internal/statemachine"
@@ -48,7 +60,35 @@ type Config struct {
 	DefaultServiceCost float64
 	// MaxInstances bounds the autoscaler.
 	MaxInstances int
+	// Live, when non-nil, receives the simulation's progress as atomic
+	// counters while RunStream is still running (see LiveStats). It does
+	// not change the simulation.
+	Live *LiveStats
 }
+
+// LiveStats publishes a running simulation's progress for concurrent
+// readers: all fields are atomics, written by the simulation loop and
+// readable from any goroutine at any time. Events, Rejected, UEs and
+// ConnectedUEs advance per arrival; MeanLatencyNanos, P95LatencyNanos,
+// P99LatencyNanos and Instances refresh at every metering-window close,
+// every liveQuantileEvery arrivals, and once at the end of the run, when
+// they match the final Report exactly.
+type LiveStats struct {
+	Events       atomic.Int64
+	Rejected     atomic.Int64
+	UEs          atomic.Int64
+	ConnectedUEs atomic.Int64
+	Instances    atomic.Int64
+
+	MeanLatencyNanos atomic.Int64
+	P95LatencyNanos  atomic.Int64
+	P99LatencyNanos  atomic.Int64
+}
+
+// liveQuantileEvery is how many arrivals may pass between latency-quantile
+// refreshes of Config.Live (quantile extraction walks the histogram's ~150
+// buckets, so it stays off the per-event path).
+const liveQuantileEvery = 512
 
 // DefaultConfig returns a configuration with 3GPP-flavoured relative costs:
 // attach/detach are heavyweight (authentication, session setup), service
@@ -295,6 +335,19 @@ func RunStream(gen events.Generation, src ArrivalSource, cfg Config) (*Report, e
 	started := false
 	var lastTime float64
 
+	// publishQuantiles refreshes Live's derived metrics (quantile queries
+	// walk the histogram, so they run per window / every few hundred
+	// events, never per arrival).
+	publishQuantiles := func() {
+		if cfg.Live == nil {
+			return
+		}
+		cfg.Live.MeanLatencyNanos.Store(int64(hist.mean() * 1e9))
+		cfg.Live.P95LatencyNanos.Store(int64(hist.quantile(0.95) * 1e9))
+		cfg.Live.P99LatencyNanos.Store(int64(hist.quantile(0.99) * 1e9))
+		cfg.Live.Instances.Store(int64(instances))
+	}
+
 	closeWindow := func(end float64) {
 		dur := end - winStart
 		if dur <= 0 {
@@ -330,6 +383,7 @@ func RunStream(gen events.Generation, src ArrivalSource, cfg Config) (*Report, e
 		winStart = end
 		winArrivals = 0
 		winBusy = 0
+		publishQuantiles()
 	}
 
 	for {
@@ -352,11 +406,20 @@ func RunStream(gen events.Generation, src ArrivalSource, cfg Config) (*Report, e
 		}
 		winArrivals++
 		rep.Events++
+		if cfg.Live != nil {
+			cfg.Live.Events.Add(1)
+			if rep.Events%liveQuantileEvery == 0 {
+				publishQuantiles()
+			}
+		}
 
 		// Stateful admission: replay semantics with bootstrap heuristic.
 		rec, seen := ues[a.UE]
 		if !seen {
 			rep.UEs++
+			if cfg.Live != nil {
+				cfg.Live.UEs.Add(1)
+			}
 		}
 		prevTop := statemachine.Top(rec.state)
 		if !rec.boot {
@@ -372,6 +435,9 @@ func RunStream(gen events.Generation, src ArrivalSource, cfg Config) (*Report, e
 			next, ok := machine.Step(rec.state, a.Type)
 			if !ok {
 				rep.Rejected++
+				if cfg.Live != nil {
+					cfg.Live.Rejected.Add(1)
+				}
 				continue
 			}
 			rec.state = next
@@ -386,6 +452,9 @@ func RunStream(gen events.Generation, src ArrivalSource, cfg Config) (*Report, e
 				}
 			case prevTop == statemachine.TopConnected:
 				connected--
+			}
+			if cfg.Live != nil {
+				cfg.Live.ConnectedUEs.Store(int64(connected))
 			}
 		}
 
@@ -411,5 +480,6 @@ func RunStream(gen events.Generation, src ArrivalSource, cfg Config) (*Report, e
 	rep.P99LatencySec = hist.quantile(0.99)
 	rep.FinalInstances = instances
 	rep.MaxInstancesUsed = maxInstances
+	publishQuantiles()
 	return rep, nil
 }

@@ -363,3 +363,76 @@ func TestRejectionAccountingMergedInput(t *testing.T) {
 }
 
 func src(arr []Arrival) *sliceSource { return &sliceSource{arr: arr} }
+
+// TestLiveStatsMatchFinalReport runs the simulator with live publication
+// enabled and checks (a) that the live counters end exactly on the report's
+// numbers and (b) that a concurrent reader observes monotone progress while
+// the run is in flight.
+func TestLiveStatsMatchFinalReport(t *testing.T) {
+	d := workload(t, 200)
+	cfg := DefaultConfig()
+	live := &LiveStats{}
+	cfg.Live = live
+
+	progress := make(chan int64, 1)
+	src := newDatasetSource(d)
+	// Wrap the source so the reader goroutine gets a window to observe a
+	// mid-run value: sample the live counter from inside the stream.
+	probe := &probeSource{src: src, at: int64(d.NumEvents() / 2), live: live, out: progress}
+	rep, err := RunStream(d.Generation, probe, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if mid := <-progress; mid <= 0 || mid > int64(rep.Events) {
+		t.Fatalf("mid-run live events = %d, want in (0, %d]", mid, rep.Events)
+	}
+	if got := live.Events.Load(); got != int64(rep.Events) {
+		t.Fatalf("live events = %d, report %d", got, rep.Events)
+	}
+	if got := live.Rejected.Load(); got != int64(rep.Rejected) {
+		t.Fatalf("live rejected = %d, report %d", got, rep.Rejected)
+	}
+	if got := live.UEs.Load(); got != int64(rep.UEs) {
+		t.Fatalf("live UEs = %d, report %d", got, rep.UEs)
+	}
+	if got := live.Instances.Load(); got != int64(rep.FinalInstances) {
+		t.Fatalf("live instances = %d, report %d", got, rep.FinalInstances)
+	}
+	if got := float64(live.P95LatencyNanos.Load()) / 1e9; math.Abs(got-rep.P95LatencySec) > 2e-9 {
+		t.Fatalf("live p95 = %v, report %v", got, rep.P95LatencySec)
+	}
+	if got := float64(live.P99LatencyNanos.Load()) / 1e9; math.Abs(got-rep.P99LatencySec) > 2e-9 {
+		t.Fatalf("live p99 = %v, report %v", got, rep.P99LatencySec)
+	}
+	if got := float64(live.MeanLatencyNanos.Load()) / 1e9; math.Abs(got-rep.MeanLatencySec) > 2e-9 {
+		t.Fatalf("live mean = %v, report %v", got, rep.MeanLatencySec)
+	}
+
+	// Live publication must not change the simulation itself.
+	cfg.Live = nil
+	rep2, err := Run(d, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep2.Events != rep.Events || rep2.Rejected != rep.Rejected || rep2.P99LatencySec != rep.P99LatencySec {
+		t.Fatalf("Live changed the simulation: %+v vs %+v", rep2, rep)
+	}
+}
+
+// probeSource passes arrivals through and snapshots a live counter once,
+// mid-stream — proof the stats are readable while the run is in flight.
+type probeSource struct {
+	src  ArrivalSource
+	n    int64
+	at   int64
+	live *LiveStats
+	out  chan int64
+}
+
+func (p *probeSource) NextArrival() (Arrival, bool, error) {
+	p.n++
+	if p.n == p.at {
+		p.out <- p.live.Events.Load()
+	}
+	return p.src.NextArrival()
+}

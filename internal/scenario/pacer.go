@@ -1,0 +1,143 @@
+package scenario
+
+import (
+	"context"
+	"sync/atomic"
+	"time"
+
+	"cptgpt/internal/events"
+)
+
+// EventSource is the consumer-side contract of a scenario event sequence:
+// Next yields events in the merge's (Time, UE, Seq) total order until
+// ok=false, after which Err distinguishes clean exhaustion (nil) from a
+// pipeline failure. Both *Stream and *Pacer implement it, and every sink
+// (Drain, WriteJSONL, WriteCSV, RunMCN, ReplayTCP) consumes it, so pacing
+// and other stages compose between the merge and any sink.
+//
+// Next is single-consumer: one goroutine pulls at a time.
+type EventSource interface {
+	Next() (e Event, ok bool)
+	Err() error
+	Generation() events.Generation
+	UEID(Event) string
+}
+
+// Pacer re-times an event source to the wall clock: an event carrying
+// trace timestamp t is released no earlier than start + (t-t0)/Compression
+// wall time, where t0 is the first event's timestamp and start the wall
+// instant it was released. Compression c plays c seconds of trace time per
+// wall second (1 = real time, 3600 = an hour per second); Compression 0
+// disables pacing and the Pacer degrades to a pure cancellation/counting
+// stage.
+//
+// Cancelling the context ends the stream cleanly between events: an event
+// already pulled from the source is still released (never severed
+// mid-flight), the next Next returns ok=false with Err()==nil, and Stopped
+// reports true so callers can tell an operator stop from exhaustion.
+// Downstream sinks observe an ordinary end-of-stream and flush normally —
+// this is the graceful-drain seam the daemon's DELETE /runs/{id} uses.
+//
+// Concurrency: Next is single-consumer; Events, Lag and Stopped are atomic
+// reads safe from any goroutine while Next runs (they back the daemon's
+// live telemetry).
+type Pacer struct {
+	src         EventSource
+	ctx         context.Context
+	compression float64
+
+	started bool
+	start   time.Time
+	t0      float64
+	timer   *time.Timer
+	done    bool
+
+	events  atomic.Int64
+	lag     atomic.Int64 // nanoseconds behind schedule at the last release
+	stopped atomic.Bool
+}
+
+// NewPacer wraps src with wall-clock pacing under ctx. A nil ctx means
+// context.Background(); compression <= 0 disables pacing.
+func NewPacer(ctx context.Context, src EventSource, compression float64) *Pacer {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	if compression < 0 {
+		compression = 0
+	}
+	return &Pacer{src: src, ctx: ctx, compression: compression}
+}
+
+// Next releases the source's next event at its paced wall time.
+func (p *Pacer) Next() (Event, bool) {
+	if p.done {
+		return Event{}, false
+	}
+	if p.ctx.Err() != nil {
+		p.done = true
+		p.stopped.Store(true)
+		return Event{}, false
+	}
+	e, ok := p.src.Next()
+	if !ok {
+		p.done = true
+		return Event{}, false
+	}
+	if p.compression > 0 {
+		now := time.Now()
+		if !p.started {
+			p.started = true
+			p.start = now
+			p.t0 = e.Time
+		}
+		target := p.start.Add(time.Duration((e.Time - p.t0) / p.compression * float64(time.Second)))
+		if wait := target.Sub(now); wait > 0 {
+			p.lag.Store(0)
+			if p.timer == nil {
+				p.timer = time.NewTimer(wait)
+			} else {
+				p.timer.Reset(wait)
+			}
+			select {
+			case <-p.timer.C:
+			case <-p.ctx.Done():
+				if !p.timer.Stop() {
+					<-p.timer.C
+				}
+				// Release the in-flight event immediately; the next call
+				// observes the cancellation and ends the stream.
+			}
+		} else {
+			// Behind schedule: release immediately and record the deficit.
+			p.lag.Store(int64(-wait))
+		}
+	}
+	p.events.Add(1)
+	return e, true
+}
+
+// Err reports the source's error. A context cancellation is a clean stop,
+// not an error — see Stopped.
+func (p *Pacer) Err() error { return p.src.Err() }
+
+// Generation returns the underlying source's technology generation.
+func (p *Pacer) Generation() events.Generation { return p.src.Generation() }
+
+// UEID delegates to the underlying source.
+func (p *Pacer) UEID(e Event) string { return p.src.UEID(e) }
+
+// Compression returns the configured time-compression factor (0 = unpaced).
+func (p *Pacer) Compression() float64 { return p.compression }
+
+// Events returns the number of events released so far. Safe concurrently
+// with Next.
+func (p *Pacer) Events() int64 { return p.events.Load() }
+
+// Lag returns how far behind schedule the last release was (0 when the
+// pacer is keeping up or pacing is disabled). Safe concurrently with Next.
+func (p *Pacer) Lag() time.Duration { return time.Duration(p.lag.Load()) }
+
+// Stopped reports whether the stream ended because the context was
+// cancelled rather than by source exhaustion. Safe concurrently with Next.
+func (p *Pacer) Stopped() bool { return p.stopped.Load() }

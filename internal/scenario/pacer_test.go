@@ -1,0 +1,171 @@
+package scenario
+
+import (
+	"context"
+	"os"
+	"testing"
+	"time"
+
+	"cptgpt/internal/events"
+)
+
+// sliceSource is a fixed in-memory EventSource for pacer tests.
+type sliceSource struct {
+	evs []Event
+	i   int
+}
+
+func (s *sliceSource) Next() (Event, bool) {
+	if s.i >= len(s.evs) {
+		return Event{}, false
+	}
+	e := s.evs[s.i]
+	s.i++
+	return e, true
+}
+func (s *sliceSource) Err() error                    { return nil }
+func (s *sliceSource) Generation() events.Generation { return events.Gen4G }
+func (s *sliceSource) UEID(e Event) string           { return "ue" }
+
+// evenlySpaced builds n events, dt trace-seconds apart.
+func evenlySpaced(n int, dt float64) *sliceSource {
+	src := &sliceSource{}
+	for i := 0; i < n; i++ {
+		src.evs = append(src.evs, Event{Time: float64(i) * dt, UE: 1, Seq: uint32(i)})
+	}
+	return src
+}
+
+// TestPacerTiming checks that a paced drain of T trace-seconds at
+// compression c takes about T/c wall seconds — within a generous tolerance
+// for loaded CI machines — and that an unpaced drain does not sleep.
+func TestPacerTiming(t *testing.T) {
+	// 20 events spanning 38 trace-seconds at compression 100 → ~380ms.
+	p := NewPacer(context.Background(), evenlySpaced(20, 2), 100)
+	start := time.Now()
+	n := 0
+	for {
+		if _, ok := p.Next(); !ok {
+			break
+		}
+		n++
+	}
+	elapsed := time.Since(start)
+	if n != 20 || p.Events() != 20 {
+		t.Fatalf("released %d events (counter %d), want 20", n, p.Events())
+	}
+	if err := p.Err(); err != nil {
+		t.Fatal(err)
+	}
+	if p.Stopped() {
+		t.Fatal("exhaustion must not report Stopped")
+	}
+	// Lower bound is hard (sleeps cannot complete early); upper bound is
+	// loose — the schedule is 380ms and we allow 3x for scheduler noise.
+	if elapsed < 350*time.Millisecond {
+		t.Fatalf("paced drain took %v, want ≥ 350ms", elapsed)
+	}
+	if elapsed > 1140*time.Millisecond {
+		t.Fatalf("paced drain took %v, want ≤ ~1.14s", elapsed)
+	}
+
+	// Unpaced (compression 0): released as fast as the source yields.
+	p0 := NewPacer(nil, evenlySpaced(1000, 10), 0)
+	start = time.Now()
+	for {
+		if _, ok := p0.Next(); !ok {
+			break
+		}
+	}
+	if elapsed := time.Since(start); elapsed > 100*time.Millisecond {
+		t.Fatalf("unpaced drain slept: %v", elapsed)
+	}
+	if p0.Events() != 1000 {
+		t.Fatalf("unpaced counter = %d, want 1000", p0.Events())
+	}
+}
+
+// TestPacerLag checks that a source whose timestamps are already in the
+// past (relative to the pace) reports a positive lag.
+func TestPacerLag(t *testing.T) {
+	// First event anchors the clock; the rest land "behind schedule" only
+	// if the consumer is slower than the pace. Force it: compression so
+	// high the whole trace is due immediately, then check lag after a
+	// consumer-side delay.
+	src := evenlySpaced(3, 1000) // 0s, 1000s, 2000s trace time
+	p := NewPacer(context.Background(), src, 1e12)
+	if _, ok := p.Next(); !ok {
+		t.Fatal("first event missing")
+	}
+	time.Sleep(20 * time.Millisecond) // slow consumer
+	if _, ok := p.Next(); !ok {
+		t.Fatal("second event missing")
+	}
+	if lag := p.Lag(); lag < 10*time.Millisecond {
+		t.Fatalf("lag = %v, want ≥ 10ms (slow consumer must show up)", lag)
+	}
+}
+
+// TestPacerCancel checks the clean-drain contract: cancelling mid-stream
+// releases the in-flight event, then ends the stream with ok=false,
+// Err()==nil and Stopped()==true.
+func TestPacerCancel(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	// 1000 trace-seconds between events at compression 10 → 100s sleeps:
+	// without cancellation this test would hang.
+	p := NewPacer(ctx, evenlySpaced(5, 1000), 10)
+	if _, ok := p.Next(); !ok {
+		t.Fatal("first event missing")
+	}
+	done := make(chan struct{})
+	var got []bool
+	go func() {
+		defer close(done)
+		for i := 0; i < 2; i++ {
+			_, ok := p.Next()
+			got = append(got, ok)
+		}
+	}()
+	time.Sleep(20 * time.Millisecond) // let the pacer park in its sleep
+	cancel()
+	select {
+	case <-done:
+	case <-time.After(5 * time.Second):
+		t.Fatal("cancelled pacer did not return")
+	}
+	// The event the pacer was holding is released, then the stream ends.
+	if len(got) != 2 || !got[0] || got[1] {
+		t.Fatalf("post-cancel Next results = %v, want [true false]", got)
+	}
+	if err := p.Err(); err != nil {
+		t.Fatalf("cancellation must not surface as Err: %v", err)
+	}
+	if !p.Stopped() {
+		t.Fatal("cancelled pacer must report Stopped")
+	}
+	if p.Events() != 2 {
+		t.Fatalf("events = %d, want 2", p.Events())
+	}
+}
+
+// TestOpenContextCancelled checks that a pre-cancelled context aborts the
+// generation phase with the context's error and leaves no spill directory.
+func TestOpenContextCancelled(t *testing.T) {
+	spec, err := Builtin("flash-crowd")
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	tmp := t.TempDir()
+	if _, err := spec.OpenContext(ctx, RunOpts{UEs: 200, TempDir: tmp}); err != context.Canceled {
+		t.Fatalf("OpenContext on cancelled ctx = %v, want context.Canceled", err)
+	}
+	ents, err := os.ReadDir(tmp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ents) != 0 {
+		t.Fatalf("cancelled OpenContext left spill state: %v", ents)
+	}
+}

@@ -30,9 +30,9 @@ type Summary struct {
 // summaryWindow is the rate-metering window width for Summary.PeakRate.
 const summaryWindow = 60.0
 
-// Drain consumes the stream to exhaustion, returning its summary — the
+// Drain consumes the source to exhaustion, returning its summary — the
 // "count" sink. It is also the cheapest way to force a full scenario run.
-func Drain(st *Stream) (Summary, error) {
+func Drain(st EventSource) (Summary, error) {
 	var sum Summary
 	var winStart float64
 	winCount := 0
@@ -83,7 +83,7 @@ type eventLine struct {
 // event-interleaved counterpart of the per-stream trace format: scenario
 // output arrives in time order across UEs, so per-UE grouping would require
 // unbounded buffering). Returns the event count.
-func WriteJSONL(w io.Writer, st *Stream) (int, error) {
+func WriteJSONL(w io.Writer, st EventSource) (int, error) {
 	bw := bufio.NewWriter(w)
 	enc := json.NewEncoder(bw)
 	n := 0
@@ -109,7 +109,7 @@ func WriteJSONL(w io.Writer, st *Stream) (int, error) {
 // WriteCSV drains the stream to w as CSV rows with the trace interchange
 // columns (ue_id,device_type,timestamp,event_type), one event per row in
 // time order. Returns the event count.
-func WriteCSV(w io.Writer, st *Stream) (int, error) {
+func WriteCSV(w io.Writer, st EventSource) (int, error) {
 	cw := csv.NewWriter(w)
 	if err := cw.Write([]string{"ue_id", "device_type", "timestamp", "event_type"}); err != nil {
 		return 0, fmt.Errorf("scenario: writing CSV header: %w", err)
@@ -137,8 +137,8 @@ func WriteCSV(w io.Writer, st *Stream) (int, error) {
 	return n, cw.Error()
 }
 
-// mcnAdapter presents a Stream as an mcn.ArrivalSource.
-type mcnAdapter struct{ st *Stream }
+// mcnAdapter presents an EventSource as an mcn.ArrivalSource.
+type mcnAdapter struct{ st EventSource }
 
 func (a mcnAdapter) NextArrival() (mcn.Arrival, bool, error) {
 	e, ok := a.st.Next()
@@ -148,15 +148,15 @@ func (a mcnAdapter) NextArrival() (mcn.Arrival, bool, error) {
 	return mcn.Arrival{Time: e.Time, UE: e.UE, Type: e.Type}, true, nil
 }
 
-// RunMCN drains the stream through the simulated mobile-core control-plane
+// RunMCN drains the source through the simulated mobile-core control-plane
 // function — the scenario engine's flagship sink. Memory stays bounded by
 // the MCN's per-UE state, never by the event count.
-func RunMCN(st *Stream, cfg mcn.Config) (*mcn.Report, error) {
+func RunMCN(st EventSource, cfg mcn.Config) (*mcn.Report, error) {
 	return mcn.RunStream(st.Generation(), mcnAdapter{st}, cfg)
 }
 
-// replayAdapter presents a Stream as a replaynet.EventSource.
-type replayAdapter struct{ st *Stream }
+// replayAdapter presents an EventSource as a replaynet.EventSource.
+type replayAdapter struct{ st EventSource }
 
 func (a replayAdapter) NextReplayEvent() (replaynet.ReplayEvent, bool, error) {
 	e, ok := a.st.Next()
@@ -168,6 +168,6 @@ func (a replayAdapter) NextReplayEvent() (replaynet.ReplayEvent, bool, error) {
 
 // ReplayTCP drains the stream onto a replaynet server — the networked MCN
 // load-test sink.
-func ReplayTCP(addr string, st *Stream, opts replaynet.ReplayOpts) (replaynet.Stats, error) {
+func ReplayTCP(addr string, st EventSource, opts replaynet.ReplayOpts) (replaynet.Stats, error) {
 	return replaynet.ReplayStream(addr, st.Generation(), replayAdapter{st}, opts)
 }

@@ -111,7 +111,14 @@ func resolveSources(spec *Spec, opts RunOpts, total int) ([]boundSource, error) 
 				return synthetic.GenerateRange(cfg, lo, hi)
 			}
 		case "cptgpt":
-			m, err := cptgpt.LoadFile(src.ModelFile)
+			// RunOpts.LoadModel lets a daemon inject a caching loader so
+			// the model file is read (and its inference snapshot frozen)
+			// once across runs.
+			load := opts.LoadModel
+			if load == nil {
+				load = cptgpt.LoadFile
+			}
+			m, err := load(src.ModelFile)
 			if err != nil {
 				return nil, fmt.Errorf("scenario: source %q: %w", src.ID, err)
 			}
@@ -151,6 +158,12 @@ func resolveSources(spec *Spec, opts RunOpts, total int) ([]boundSource, error) 
 			if opts.DraftTokens > 0 {
 				draftK = opts.DraftTokens
 			}
+			// Live decode telemetry: counters accumulate into the caller's
+			// per-source DecodeStats as each chunk finishes.
+			var stats *cptgpt.DecodeStats
+			if opts.SourceStats != nil {
+				stats = opts.SourceStats(src.ID)
+			}
 			genOpts := cptgpt.GenOpts{
 				Device:      dev,
 				Seed:        sourceSeed(spec, i),
@@ -159,6 +172,7 @@ func resolveSources(spec *Spec, opts RunOpts, total int) ([]boundSource, error) 
 				BatchSize:   opts.decodeBatch(),
 				Speculative: speculative,
 				DraftTokens: draftK,
+				Stats:       stats,
 				// Spread stream starts over the horizon; ramp ops can
 				// re-stage populations on top of this.
 				StartWindow: spec.HorizonSec,

@@ -3,6 +3,7 @@ package scenario
 import (
 	"bufio"
 	"container/heap"
+	"context"
 	"encoding/binary"
 	"fmt"
 	"io"
@@ -92,6 +93,16 @@ type RunOpts struct {
 	// Sources binds custom generators to spec source IDs (required for
 	// kind "custom", optional override for any other kind).
 	Sources map[string]ChunkFunc
+	// LoadModel loads the trained model backing a "cptgpt" source; nil
+	// means cptgpt.LoadFile. A long-running daemon passes a caching loader
+	// here so models are read from disk once and shared across runs.
+	LoadModel func(path string) (*cptgpt.Model, error)
+	// SourceStats, when non-nil, supplies the decode-telemetry sink for
+	// each cptgpt source (keyed by source ID; return nil to skip one).
+	// Counters accumulate atomically as generation chunks finish, so a
+	// daemon can watch per-source decode stats (slot utilization, draft
+	// acceptance) while the generation phase is still running.
+	SourceStats func(sourceID string) *cptgpt.DecodeStats
 }
 
 // DefaultPopulation is the UE count used when neither the spec nor the run
@@ -117,6 +128,11 @@ func (o RunOpts) chunkStreams() int {
 func (o RunOpts) decodeBatch() int {
 	return min(o.chunkStreams(), cptgpt.DefaultBatchSize)
 }
+
+// DecodeBatch reports the decode-slot capacity cptgpt sources run with
+// under these options — the denominator for turning DecodeStats.SlotSteps
+// into a slot-utilization figure.
+func (o RunOpts) DecodeBatch() int { return o.decodeBatch() }
 
 func (o RunOpts) fanIn() int {
 	if o.MaxFanIn > 1 {
@@ -322,7 +338,22 @@ type chunkJob struct {
 // emitted sequence is bit-identical at every Parallelism × BatchSize
 // because chunk boundaries only move events between runs, never change the
 // (Time, UE, Seq) total order the merge restores.
+//
+// Open is OpenContext under context.Background().
 func (spec *Spec) Open(opts RunOpts) (st *Stream, err error) {
+	return spec.OpenContext(context.Background(), opts)
+}
+
+// OpenContext is Open under a cancellable context: cancelling ctx aborts
+// the generation phase between chunk jobs and merge passes (spill files are
+// cleaned up) and OpenContext returns ctx's error — the seam a daemon uses
+// to stop a run that is still generating. Cancellation after OpenContext
+// returns does not affect the Stream; wrap it in a Pacer for cancellable
+// consumption.
+func (spec *Spec) OpenContext(ctx context.Context, opts RunOpts) (st *Stream, err error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
 	if err := spec.Validate(); err != nil {
 		return nil, err
 	}
@@ -369,13 +400,13 @@ func (spec *Spec) Open(opts RunOpts) (st *Stream, err error) {
 	}
 
 	// Phase 2: generate, transform, sort, spill — fanned over workers.
-	runs, err := spillChunks(spec, sources, jobs, opts)
+	runs, err := spillChunks(ctx, spec, sources, jobs, opts)
 	if err != nil {
 		return nil, err
 	}
 
 	// Phase 3: bound the merge fan-in.
-	if runs, err = reduceRuns(runs, opts.fanIn(), dir); err != nil {
+	if runs, err = reduceRuns(ctx, runs, opts.fanIn(), dir); err != nil {
 		return nil, err
 	}
 
@@ -424,8 +455,9 @@ func openRunHeap(paths []string) (mergeHeap, error) {
 }
 
 // spillChunks runs the generation phase and returns the produced run paths
-// in deterministic job order (empty chunks are skipped).
-func spillChunks(spec *Spec, sources []boundSource, jobs []chunkJob, opts RunOpts) ([]string, error) {
+// in deterministic job order (empty chunks are skipped). A context
+// cancellation stops dispatching jobs and surfaces as ctx's error.
+func spillChunks(ctx context.Context, spec *Spec, sources []boundSource, jobs []chunkJob, opts RunOpts) ([]string, error) {
 	horizon := spec.HorizonSec
 	workers := opts.workers()
 	if workers > len(jobs) {
@@ -445,8 +477,8 @@ func spillChunks(spec *Spec, sources []boundSource, jobs []chunkJob, opts RunOpt
 			var evs []Event
 			var scratch []trace.Event
 			for ji := range jobCh {
-				if errs[w] != nil {
-					continue // drain after failure
+				if errs[w] != nil || ctx.Err() != nil {
+					continue // drain after failure or cancellation
 				}
 				job := jobs[ji]
 				src := &sources[job.src]
@@ -487,10 +519,16 @@ func spillChunks(spec *Spec, sources []boundSource, jobs []chunkJob, opts RunOpt
 		}(w)
 	}
 	for ji := range jobs {
+		if ctx.Err() != nil {
+			break
+		}
 		jobCh <- ji
 	}
 	close(jobCh)
 	wg.Wait()
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
 	for _, err := range errs {
 		if err != nil {
 			return nil, err
@@ -517,8 +555,11 @@ func sortEvents(evs []Event) {
 // re-merge each byte O(1) times on average. Merging never reorders the
 // (Time, UE, Seq) total order, so the final stream is independent of how
 // many passes happened.
-func reduceRuns(runs []string, fanIn int, dir string) ([]string, error) {
+func reduceRuns(ctx context.Context, runs []string, fanIn int, dir string) ([]string, error) {
 	for seq := 0; len(runs) > fanIn; seq++ {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
 		k := min(fanIn, len(runs)-fanIn+1)
 		out := filepath.Join(dir, fmt.Sprintf("merge-%06d.bin", seq))
 		if err := mergeRunFiles(runs[:k], out); err != nil {

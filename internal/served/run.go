@@ -1,0 +1,374 @@
+package served
+
+import (
+	"compress/gzip"
+	"context"
+	"errors"
+	"fmt"
+	"io"
+	"os"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"cptgpt/internal/cptgpt"
+	"cptgpt/internal/mcn"
+	"cptgpt/internal/scenario"
+)
+
+// Run states. A run is born generating (the spill phase of the scenario
+// pipeline), moves to streaming once its merged event stream is open and
+// the pacer starts releasing events, and ends in exactly one of done
+// (source exhausted), stopped (operator cancellation drained cleanly) or
+// failed (pipeline or sink error).
+const (
+	StateGenerating = "generating"
+	StateStreaming  = "streaming"
+	StateDone       = "done"
+	StateStopped    = "stopped"
+	StateFailed     = "failed"
+)
+
+// terminal reports whether a run state is final.
+func terminal(state string) bool {
+	return state == StateDone || state == StateStopped || state == StateFailed
+}
+
+// StartRequest is the POST /runs body: a scenario (builtin name or inline
+// spec), a sink, and the run knobs.
+type StartRequest struct {
+	// Scenario names a builtin; Spec carries an inline scenario. Exactly
+	// one must be set.
+	Scenario string         `json:"scenario,omitempty"`
+	Spec     *scenario.Spec `json:"spec,omitempty"`
+	// UEs overrides the spec population (0 keeps it).
+	UEs int `json:"ues,omitempty"`
+	// Compression is the time-compression factor: the run plays
+	// Compression seconds of trace time per wall-clock second (1 = real
+	// time). 0 disables pacing — events pour out as fast as the sink
+	// accepts them.
+	Compression float64 `json:"compression,omitempty"`
+	// Sink is "count" (default), "mcn", "jsonl" or "csv".
+	Sink string `json:"sink,omitempty"`
+	// Out is the server-side output path for the jsonl/csv sinks
+	// (".gz" compresses).
+	Out string `json:"out,omitempty"`
+	// Precision / Speculative / DraftTokens are the run-wide cptgpt
+	// overrides, with RunOpts semantics.
+	Precision   string `json:"precision,omitempty"`
+	Speculative string `json:"speculative,omitempty"`
+	DraftTokens int    `json:"draft_tokens,omitempty"`
+	// Parallelism / BatchSize tune the generation phase (0 = defaults).
+	Parallelism int `json:"parallelism,omitempty"`
+	BatchSize   int `json:"batch_size,omitempty"`
+}
+
+// RunInfo is the wire form of a run's identity and lifecycle.
+type RunInfo struct {
+	ID          string         `json:"id"`
+	Scenario    string         `json:"scenario"`
+	Sink        string         `json:"sink"`
+	UEs         int            `json:"ues"`
+	Compression float64        `json:"compression"`
+	State       string         `json:"state"`
+	StartedAt   time.Time      `json:"started_at"`
+	FinishedAt  *time.Time     `json:"finished_at,omitempty"`
+	Error       string         `json:"error,omitempty"`
+	Result      map[string]any `json:"result,omitempty"`
+}
+
+// SourceStats is one cptgpt source's decode telemetry in /runs/{id}/stats.
+type SourceStats struct {
+	Steps           int64   `json:"steps"`
+	SlotSteps       int64   `json:"slot_steps"`
+	SlotUtilization float64 `json:"slot_utilization"`
+	DraftProposed   int64   `json:"draft_proposed"`
+	DraftAccepted   int64   `json:"draft_accepted"`
+	DraftAcceptance float64 `json:"draft_acceptance"`
+}
+
+// MCNStats is the live MCN-sink telemetry in /runs/{id}/stats.
+type MCNStats struct {
+	Events       int64   `json:"events"`
+	Rejected     int64   `json:"rejected"`
+	UEs          int64   `json:"ues"`
+	ConnectedUEs int64   `json:"connected_ues"`
+	Instances    int64   `json:"instances"`
+	MeanMs       float64 `json:"latency_mean_ms"`
+	P95Ms        float64 `json:"latency_p95_ms"`
+	P99Ms        float64 `json:"latency_p99_ms"`
+}
+
+// RunStats is the GET /runs/{id}/stats body: a point-in-time snapshot of a
+// run's live counters, safe to take while the run is in flight.
+type RunStats struct {
+	ID          string  `json:"id"`
+	Scenario    string  `json:"scenario"`
+	State       string  `json:"state"`
+	Events      int64   `json:"events"`
+	WallSeconds float64 `json:"wall_seconds"`
+	// EventsPerSec is the cumulative streaming-phase rate; RecentPerSec is
+	// the rate since the previous stats scrape (0 on the first scrape).
+	EventsPerSec    float64                `json:"events_per_sec"`
+	RecentPerSec    float64                `json:"recent_events_per_sec"`
+	Compression     float64                `json:"compression"`
+	PacerLagSeconds float64                `json:"pacer_lag_seconds"`
+	Sources         map[string]SourceStats `json:"sources,omitempty"`
+	MCN             *MCNStats              `json:"mcn,omitempty"`
+}
+
+// run is one scenario execution owned by the daemon.
+type run struct {
+	id           string
+	scenarioName string
+	spec         *scenario.Spec
+	sink         string
+	out          string
+	ues          int
+	compression  float64
+	opts         scenario.RunOpts
+
+	cancel context.CancelFunc
+	done   chan struct{}
+
+	// pacer is published by the lifecycle goroutine when streaming begins;
+	// its counters are the run's live event telemetry.
+	pacer atomic.Pointer[scenario.Pacer]
+	// decode holds the per-cptgpt-source stats sinks, created before the
+	// pipeline opens so generation-phase telemetry is live from the start.
+	decode map[string]*cptgpt.DecodeStats
+	// mcnLive is set for the mcn sink.
+	mcnLive *mcn.LiveStats
+
+	mu         sync.Mutex
+	state      string
+	startedAt  time.Time
+	streamAt   time.Time // when streaming began (zero until then)
+	finishedAt time.Time
+	err        error
+	result     map[string]any
+
+	// last stats-scrape sample, for the recent-rate estimate.
+	scrapeAt     time.Time
+	scrapeEvents int64
+}
+
+// setState transitions the run's lifecycle state.
+func (r *run) setState(state string) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.state = state
+	if state == StateStreaming {
+		r.streamAt = time.Now()
+	}
+}
+
+// finish records the terminal state, error and sink result.
+func (r *run) finish(state string, err error, result map[string]any) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.state = state
+	r.err = err
+	r.result = result
+	r.finishedAt = time.Now()
+}
+
+// info snapshots the run as wire-form RunInfo.
+func (r *run) info() RunInfo {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	info := RunInfo{
+		ID: r.id, Scenario: r.scenarioName, Sink: r.sink,
+		UEs: r.ues, Compression: r.compression,
+		State: r.state, StartedAt: r.startedAt, Result: r.result,
+	}
+	if !r.finishedAt.IsZero() {
+		t := r.finishedAt
+		info.FinishedAt = &t
+	}
+	if r.err != nil {
+		info.Error = r.err.Error()
+	}
+	return info
+}
+
+// events returns the live released-event count (0 before streaming).
+func (r *run) events() int64 {
+	if p := r.pacer.Load(); p != nil {
+		return p.Events()
+	}
+	return 0
+}
+
+// lagSeconds returns the pacer's current schedule deficit.
+func (r *run) lagSeconds() float64 {
+	if p := r.pacer.Load(); p != nil {
+		return p.Lag().Seconds()
+	}
+	return 0
+}
+
+// stats snapshots the run's live telemetry. The scrape window for the
+// recent-rate estimate advances on every call.
+func (r *run) stats() RunStats {
+	now := time.Now()
+	events := r.events()
+
+	r.mu.Lock()
+	st := RunStats{
+		ID: r.id, Scenario: r.scenarioName, State: r.state,
+		Events: events, Compression: r.compression,
+		PacerLagSeconds: r.lagSeconds(),
+	}
+	if !r.streamAt.IsZero() {
+		end := now
+		if !r.finishedAt.IsZero() {
+			end = r.finishedAt
+		}
+		if wall := end.Sub(r.streamAt).Seconds(); wall > 0 {
+			st.WallSeconds = wall
+			st.EventsPerSec = float64(events) / wall
+		}
+	}
+	if !r.scrapeAt.IsZero() {
+		if dt := now.Sub(r.scrapeAt).Seconds(); dt > 0 {
+			st.RecentPerSec = float64(events-r.scrapeEvents) / dt
+		}
+	}
+	r.scrapeAt = now
+	r.scrapeEvents = events
+	r.mu.Unlock()
+
+	if len(r.decode) > 0 {
+		st.Sources = make(map[string]SourceStats, len(r.decode))
+		slots := float64(r.opts.DecodeBatch())
+		for id, ds := range r.decode {
+			snap := ds.Load()
+			s := SourceStats{
+				Steps:         snap.Steps,
+				SlotSteps:     snap.SlotSteps,
+				DraftProposed: snap.DraftProposed,
+				DraftAccepted: snap.DraftAccepted,
+			}
+			if s.Steps > 0 && slots > 0 {
+				s.SlotUtilization = float64(s.SlotSteps) / (float64(s.Steps) * slots)
+			}
+			if s.DraftProposed > 0 {
+				s.DraftAcceptance = float64(s.DraftAccepted) / float64(s.DraftProposed)
+			}
+			st.Sources[id] = s
+		}
+	}
+	if r.mcnLive != nil {
+		st.MCN = &MCNStats{
+			Events:       r.mcnLive.Events.Load(),
+			Rejected:     r.mcnLive.Rejected.Load(),
+			UEs:          r.mcnLive.UEs.Load(),
+			ConnectedUEs: r.mcnLive.ConnectedUEs.Load(),
+			Instances:    r.mcnLive.Instances.Load(),
+			MeanMs:       float64(r.mcnLive.MeanLatencyNanos.Load()) / 1e6,
+			P95Ms:        float64(r.mcnLive.P95LatencyNanos.Load()) / 1e6,
+			P99Ms:        float64(r.mcnLive.P99LatencyNanos.Load()) / 1e6,
+		}
+	}
+	return st
+}
+
+// execute runs the scenario to its sink under ctx. It is the run's
+// lifecycle goroutine body: generating → streaming → terminal state, with
+// a context cancellation draining cleanly at either phase.
+func (r *run) execute(ctx context.Context, mcnCfg mcn.Config) {
+	st, err := r.spec.OpenContext(ctx, r.opts)
+	if err != nil {
+		if errors.Is(err, context.Canceled) {
+			r.finish(StateStopped, nil, nil)
+		} else {
+			r.finish(StateFailed, err, nil)
+		}
+		return
+	}
+	defer st.Close()
+
+	pacer := scenario.NewPacer(ctx, st, r.compression)
+	r.pacer.Store(pacer)
+	r.setState(StateStreaming)
+
+	var result map[string]any
+	switch r.sink {
+	case "count":
+		var sum scenario.Summary
+		if sum, err = scenario.Drain(pacer); err == nil {
+			result = map[string]any{
+				"events":            sum.Events,
+				"first_time":        sum.FirstTime,
+				"last_time":         sum.LastTime,
+				"peak_rate":         sum.PeakRate,
+				"peak_window_start": sum.PeakWindowStart,
+			}
+		}
+	case "mcn":
+		mcnCfg.Live = r.mcnLive
+		var rep *mcn.Report
+		if rep, err = scenario.RunMCN(pacer, mcnCfg); err == nil {
+			result = map[string]any{
+				"events":          rep.Events,
+				"rejected":        rep.Rejected,
+				"ues":             rep.UEs,
+				"latency_mean_ms": 1e3 * rep.MeanLatencySec,
+				"latency_p95_ms":  1e3 * rep.P95LatencySec,
+				"latency_p99_ms":  1e3 * rep.P99LatencySec,
+				"peak_rate":       rep.PeakRate,
+				"max_instances":   rep.MaxInstancesUsed,
+			}
+		}
+	case "jsonl", "csv":
+		var n int
+		if n, err = r.writeFile(pacer); err == nil {
+			result = map[string]any{"events": n, "out": r.out}
+		}
+	default:
+		err = fmt.Errorf("served: unknown sink %q", r.sink)
+	}
+
+	switch {
+	case err != nil:
+		r.finish(StateFailed, err, nil)
+	case pacer.Stopped():
+		r.finish(StateStopped, nil, result)
+	default:
+		r.finish(StateDone, nil, result)
+	}
+}
+
+// writeFile drains the source into the run's jsonl/csv output file,
+// gzip-compressing a ".gz" path. The writer chain is flushed and closed
+// before the event count is returned, so a stopped run's file is complete
+// up to its last released event — never truncated mid-line.
+func (r *run) writeFile(src scenario.EventSource) (int, error) {
+	f, err := os.Create(r.out)
+	if err != nil {
+		return 0, err
+	}
+	var w io.Writer = f
+	var gz *gzip.Writer
+	if strings.HasSuffix(r.out, ".gz") {
+		gz = gzip.NewWriter(f)
+		w = gz
+	}
+	var n int
+	if r.sink == "jsonl" {
+		n, err = scenario.WriteJSONL(w, src)
+	} else {
+		n, err = scenario.WriteCSV(w, src)
+	}
+	if gz != nil {
+		if cerr := gz.Close(); err == nil {
+			err = cerr
+		}
+	}
+	if cerr := f.Close(); err == nil {
+		err = cerr
+	}
+	return n, err
+}

@@ -1,0 +1,503 @@
+// Package served is the cptserved daemon core: a long-running HTTP service
+// that loads CPT-GPT models once, runs scenarios on demand, paces their
+// event streams against wall-clock time under a compression factor, and
+// exposes live per-run telemetry.
+//
+// The management API (see docs/OPERATIONS.md for the full catalog):
+//
+//	POST   /runs            start a run (builtin name or inline spec)
+//	GET    /runs            list runs
+//	GET    /runs/{id}       inspect one run
+//	GET    /runs/{id}/stats live telemetry snapshot (JSON)
+//	DELETE /runs/{id}       stop a run (clean drain)
+//	GET    /metrics         Prometheus text exposition
+//	GET    /healthz         liveness
+//
+// Concurrency contract: a Server is safe for concurrent use by any number
+// of HTTP clients. Each run executes on its own goroutine; its event
+// pipeline is single-consumer (the run goroutine), while its telemetry
+// (pacer counters, DecodeStats, mcn.LiveStats, the telemetry registry) is
+// all atomics, read by handlers and the /metrics scraper without touching
+// the hot path. Close cancels every run's context; the clean-drain
+// contract of scenario.Pacer means stopped runs flush their sinks before
+// ending, so stopping the daemon never truncates output mid-record.
+package served
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"path/filepath"
+	"sync"
+	"time"
+
+	"cptgpt/internal/cptgpt"
+	"cptgpt/internal/mcn"
+	"cptgpt/internal/scenario"
+	"cptgpt/internal/telemetry"
+)
+
+// DefaultMaxFinishedRuns is the number of terminal runs retained (with
+// their stats and metric series) before the oldest are evicted.
+const DefaultMaxFinishedRuns = 256
+
+// Options configures a Server.
+type Options struct {
+	// TempDir hosts per-run spill files ("" = system temp dir).
+	TempDir string
+	// Parallelism is the default generation-phase worker bound applied to
+	// runs that do not set their own (0 = the engine default).
+	Parallelism int
+	// MaxFinishedRuns bounds the terminal-run history (0 = default).
+	MaxFinishedRuns int
+	// MCN configures the mcn sink; zero value means mcn.DefaultConfig().
+	MCN mcn.Config
+}
+
+// Server owns the model cache, the run registry and the telemetry
+// registry behind the cptserved HTTP API.
+type Server struct {
+	opts  Options
+	mcn   mcn.Config
+	reg   *telemetry.Registry
+	start time.Time
+
+	runsStarted *telemetry.Counter
+
+	mu           sync.Mutex
+	models       map[string]*cptgpt.Model
+	runs         map[string]*run
+	order        []string // insertion order, for listing and eviction
+	seq          int
+	shuttingDown bool
+	wg           sync.WaitGroup
+}
+
+// New builds a Server. No goroutines start until the first run.
+func New(opts Options) *Server {
+	if opts.MaxFinishedRuns <= 0 {
+		opts.MaxFinishedRuns = DefaultMaxFinishedRuns
+	}
+	cfg := opts.MCN
+	if cfg.BaseInstances == 0 && cfg.DefaultServiceCost == 0 {
+		cfg = mcn.DefaultConfig()
+	}
+	s := &Server{
+		opts:   opts,
+		mcn:    cfg,
+		reg:    telemetry.NewRegistry(),
+		start:  time.Now(),
+		models: make(map[string]*cptgpt.Model),
+		runs:   make(map[string]*run),
+	}
+	s.reg.GaugeFunc("cptserved_uptime_seconds",
+		"Seconds since the daemon started.",
+		func() float64 { return time.Since(s.start).Seconds() })
+	s.reg.GaugeFunc("cptserved_models_loaded",
+		"Distinct model files resident in the daemon's cache.",
+		func() float64 {
+			s.mu.Lock()
+			defer s.mu.Unlock()
+			return float64(len(s.models))
+		})
+	s.reg.GaugeFunc("cptserved_runs_active",
+		"Runs currently generating or streaming.",
+		func() float64 {
+			s.mu.Lock()
+			defer s.mu.Unlock()
+			n := 0
+			for _, r := range s.runs {
+				r.mu.Lock()
+				if !terminal(r.state) {
+					n++
+				}
+				r.mu.Unlock()
+			}
+			return float64(n)
+		})
+	s.runsStarted = s.reg.Counter("cptserved_runs_started_total",
+		"Runs accepted by POST /runs since daemon start.")
+	return s
+}
+
+// loadModel resolves a model path through the daemon-lifetime cache, so a
+// model file is deserialized once no matter how many runs reference it.
+func (s *Server) loadModel(path string) (*cptgpt.Model, error) {
+	abs, err := filepath.Abs(path)
+	if err != nil {
+		abs = path
+	}
+	s.mu.Lock()
+	if m, ok := s.models[abs]; ok {
+		s.mu.Unlock()
+		return m, nil
+	}
+	s.mu.Unlock()
+	// Load outside the lock: model files can be large and two concurrent
+	// first-loads of the same file are harmless (last write wins, both
+	// models are equivalent).
+	m, err := cptgpt.LoadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	s.mu.Lock()
+	s.models[abs] = m
+	s.mu.Unlock()
+	return m, nil
+}
+
+// PreloadModel loads a model into the cache at startup so the first run
+// referencing it pays no load latency.
+func (s *Server) PreloadModel(path string) error {
+	_, err := s.loadModel(path)
+	return err
+}
+
+// Handler returns the daemon's HTTP API.
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /runs", s.handleStart)
+	mux.HandleFunc("GET /runs", s.handleList)
+	mux.HandleFunc("GET /runs/{id}", s.handleGet)
+	mux.HandleFunc("GET /runs/{id}/stats", s.handleStats)
+	mux.HandleFunc("DELETE /runs/{id}", s.handleStop)
+	mux.HandleFunc("GET /metrics", s.handleMetrics)
+	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, _ *http.Request) {
+		writeJSON(w, http.StatusOK, map[string]any{"ok": true, "uptime_seconds": time.Since(s.start).Seconds()})
+	})
+	return mux
+}
+
+// Close stops every run (clean drain), waits for their goroutines, and
+// rejects new runs. Bounded by ctx: if the drain outlasts it, Close
+// returns ctx.Err() with run goroutines still finishing in the background.
+func (s *Server) Close(ctx context.Context) error {
+	s.mu.Lock()
+	s.shuttingDown = true
+	for _, r := range s.runs {
+		r.cancel()
+	}
+	s.mu.Unlock()
+
+	done := make(chan struct{})
+	go func() { s.wg.Wait(); close(done) }()
+	select {
+	case <-done:
+		return nil
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+}
+
+// resolveSpec turns a StartRequest's scenario/spec pair into a validated
+// Spec and its display name.
+func resolveSpec(req *StartRequest) (*scenario.Spec, string, error) {
+	switch {
+	case req.Scenario != "" && req.Spec != nil:
+		return nil, "", errors.New("set exactly one of scenario and spec, not both")
+	case req.Scenario != "":
+		spec, err := scenario.Builtin(req.Scenario)
+		if err != nil {
+			return nil, "", err
+		}
+		return spec, req.Scenario, nil
+	case req.Spec != nil:
+		if err := req.Spec.Validate(); err != nil {
+			return nil, "", err
+		}
+		name := req.Spec.Name
+		if name == "" {
+			name = "inline"
+		}
+		return req.Spec, name, nil
+	default:
+		return nil, "", errors.New("set scenario (builtin name) or spec (inline scenario)")
+	}
+}
+
+// validateStart checks the knobs that can be rejected before any work
+// starts, so bad requests fail with 400 rather than a failed run.
+func validateStart(req *StartRequest) error {
+	if _, err := cptgpt.ParsePrecision(req.Precision); err != nil {
+		return err
+	}
+	switch req.Speculative {
+	case "", "on", "off":
+	default:
+		return fmt.Errorf("speculative must be \"on\", \"off\" or empty, got %q", req.Speculative)
+	}
+	if req.Compression < 0 {
+		return errors.New("compression must be ≥ 0")
+	}
+	if req.UEs < 0 {
+		return errors.New("ues must be ≥ 0")
+	}
+	switch req.Sink {
+	case "", "count", "mcn":
+		if req.Out != "" {
+			return fmt.Errorf("sink %q takes no out path", req.Sink)
+		}
+	case "jsonl", "csv":
+		if req.Out == "" {
+			return fmt.Errorf("sink %q requires out (server-side output path)", req.Sink)
+		}
+	default:
+		return fmt.Errorf("unknown sink %q (want count, mcn, jsonl or csv)", req.Sink)
+	}
+	return nil
+}
+
+func (s *Server) handleStart(w http.ResponseWriter, req *http.Request) {
+	var body StartRequest
+	dec := json.NewDecoder(req.Body)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&body); err != nil {
+		writeErr(w, http.StatusBadRequest, fmt.Errorf("bad request body: %w", err))
+		return
+	}
+	if err := validateStart(&body); err != nil {
+		writeErr(w, http.StatusBadRequest, err)
+		return
+	}
+	spec, name, err := resolveSpec(&body)
+	if err != nil {
+		writeErr(w, http.StatusBadRequest, err)
+		return
+	}
+
+	sink := body.Sink
+	if sink == "" {
+		sink = "count"
+	}
+	parallelism := body.Parallelism
+	if parallelism == 0 {
+		parallelism = s.opts.Parallelism
+	}
+
+	r := &run{
+		scenarioName: name,
+		spec:         spec,
+		sink:         sink,
+		out:          body.Out,
+		ues:          body.UEs,
+		compression:  body.Compression,
+		done:         make(chan struct{}),
+		decode:       make(map[string]*cptgpt.DecodeStats),
+		state:        StateGenerating,
+		startedAt:    time.Now(),
+	}
+	for _, src := range spec.Sources {
+		if src.Kind == "cptgpt" {
+			r.decode[src.ID] = &cptgpt.DecodeStats{}
+		}
+	}
+	if sink == "mcn" {
+		r.mcnLive = &mcn.LiveStats{}
+	}
+	r.opts = scenario.RunOpts{
+		UEs:         body.UEs,
+		Parallelism: parallelism,
+		BatchSize:   body.BatchSize,
+		TempDir:     s.opts.TempDir,
+		Precision:   body.Precision,
+		Speculative: body.Speculative,
+		DraftTokens: body.DraftTokens,
+		LoadModel:   s.loadModel,
+		SourceStats: func(id string) *cptgpt.DecodeStats { return r.decode[id] },
+	}
+
+	ctx, cancel := context.WithCancel(context.Background())
+	r.cancel = cancel
+
+	s.mu.Lock()
+	if s.shuttingDown {
+		s.mu.Unlock()
+		cancel()
+		writeErr(w, http.StatusServiceUnavailable, errors.New("daemon is shutting down"))
+		return
+	}
+	s.seq++
+	r.id = fmt.Sprintf("run-%d", s.seq)
+	s.runs[r.id] = r
+	s.order = append(s.order, r.id)
+	evicted := s.evictLocked()
+	s.wg.Add(1)
+	s.mu.Unlock()
+
+	// Drop evicted runs' series outside s.mu: registry callbacks take
+	// s.mu under the registry lock, so the reverse order would deadlock.
+	for _, id := range evicted {
+		s.reg.Drop("run", id)
+	}
+
+	s.runsStarted.Inc()
+	s.registerRunMetrics(r)
+
+	go func() {
+		defer s.wg.Done()
+		defer close(r.done)
+		defer cancel()
+		r.execute(ctx, s.mcn)
+	}()
+
+	writeJSON(w, http.StatusCreated, r.info())
+}
+
+// evictLocked trims the oldest terminal runs past the retention bound and
+// returns the evicted ids (whose metric series the caller must Drop after
+// releasing s.mu). Caller holds s.mu.
+func (s *Server) evictLocked() []string {
+	excess := len(s.order) - s.opts.MaxFinishedRuns
+	if excess <= 0 {
+		return nil
+	}
+	var evicted []string
+	kept := s.order[:0]
+	for _, id := range s.order {
+		r := s.runs[id]
+		r.mu.Lock()
+		evictable := terminal(r.state)
+		r.mu.Unlock()
+		if excess > 0 && evictable {
+			delete(s.runs, id)
+			evicted = append(evicted, id)
+			excess--
+			continue
+		}
+		kept = append(kept, id)
+	}
+	s.order = kept
+	return evicted
+}
+
+// registerRunMetrics wires the run's live counters into /metrics. All the
+// functions read atomics (or take the run's small state lock), never the
+// registry itself, per the telemetry callback contract.
+func (s *Server) registerRunMetrics(r *run) {
+	lbl := []telemetry.Label{telemetry.L("run", r.id), telemetry.L("scenario", r.scenarioName)}
+	s.reg.CounterFunc("cptserved_run_events_total",
+		"Events released downstream of the pacer, per run.",
+		r.events, lbl...)
+	s.reg.GaugeFunc("cptserved_run_pacer_lag_seconds",
+		"How far the run's emission lags its paced schedule.",
+		r.lagSeconds, lbl...)
+
+	for id, ds := range r.decode {
+		ds := ds
+		dl := append([]telemetry.Label{telemetry.L("source", id)}, lbl...)
+		s.reg.CounterFunc("cptserved_decode_steps_total",
+			"Batched decode steps executed by a cptgpt source.",
+			func() int64 { return ds.Load().Steps }, dl...)
+		s.reg.CounterFunc("cptserved_decode_slot_steps_total",
+			"Occupied slot-steps across decode steps (utilization numerator).",
+			func() int64 { return ds.Load().SlotSteps }, dl...)
+		s.reg.CounterFunc("cptserved_decode_draft_proposed_total",
+			"Draft tokens proposed by speculative decoding.",
+			func() int64 { return ds.Load().DraftProposed }, dl...)
+		s.reg.CounterFunc("cptserved_decode_draft_accepted_total",
+			"Draft tokens accepted by the multi-token verifier.",
+			func() int64 { return ds.Load().DraftAccepted }, dl...)
+	}
+
+	if live := r.mcnLive; live != nil {
+		s.reg.CounterFunc("cptserved_mcn_events_total",
+			"Arrivals processed by the run's MCN simulation.",
+			live.Events.Load, lbl...)
+		s.reg.CounterFunc("cptserved_mcn_rejected_total",
+			"Arrivals rejected by the MCN's UE state machine.",
+			live.Rejected.Load, lbl...)
+		s.reg.GaugeFunc("cptserved_mcn_connected_ues",
+			"UEs currently in the CONNECTED state.",
+			func() float64 { return float64(live.ConnectedUEs.Load()) }, lbl...)
+		s.reg.GaugeFunc("cptserved_mcn_instances",
+			"NF instances currently provisioned by the autoscaler.",
+			func() float64 { return float64(live.Instances.Load()) }, lbl...)
+		s.reg.GaugeFunc("cptserved_mcn_latency_seconds",
+			"MCN event latency (mean refreshes per metering window).",
+			func() float64 { return float64(live.MeanLatencyNanos.Load()) / 1e9 },
+			append([]telemetry.Label{telemetry.L("stat", "mean")}, lbl...)...)
+		s.reg.GaugeFunc("cptserved_mcn_latency_seconds",
+			"MCN event latency (mean refreshes per metering window).",
+			func() float64 { return float64(live.P95LatencyNanos.Load()) / 1e9 },
+			append([]telemetry.Label{telemetry.L("stat", "p95")}, lbl...)...)
+		s.reg.GaugeFunc("cptserved_mcn_latency_seconds",
+			"MCN event latency (mean refreshes per metering window).",
+			func() float64 { return float64(live.P99LatencyNanos.Load()) / 1e9 },
+			append([]telemetry.Label{telemetry.L("stat", "p99")}, lbl...)...)
+	}
+}
+
+// lookup resolves a run id to its record.
+func (s *Server) lookup(id string) (*run, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	r, ok := s.runs[id]
+	return r, ok
+}
+
+func (s *Server) handleList(w http.ResponseWriter, _ *http.Request) {
+	s.mu.Lock()
+	infos := make([]RunInfo, 0, len(s.order))
+	for _, id := range s.order {
+		if r, ok := s.runs[id]; ok {
+			infos = append(infos, r.info())
+		}
+	}
+	s.mu.Unlock()
+	writeJSON(w, http.StatusOK, map[string]any{"runs": infos})
+}
+
+func (s *Server) handleGet(w http.ResponseWriter, req *http.Request) {
+	r, ok := s.lookup(req.PathValue("id"))
+	if !ok {
+		writeErr(w, http.StatusNotFound, errors.New("no such run"))
+		return
+	}
+	writeJSON(w, http.StatusOK, r.info())
+}
+
+func (s *Server) handleStats(w http.ResponseWriter, req *http.Request) {
+	r, ok := s.lookup(req.PathValue("id"))
+	if !ok {
+		writeErr(w, http.StatusNotFound, errors.New("no such run"))
+		return
+	}
+	writeJSON(w, http.StatusOK, r.stats())
+}
+
+// handleStop cancels a run and waits (bounded by the request context) for
+// its clean drain, then reports the final state.
+func (s *Server) handleStop(w http.ResponseWriter, req *http.Request) {
+	r, ok := s.lookup(req.PathValue("id"))
+	if !ok {
+		writeErr(w, http.StatusNotFound, errors.New("no such run"))
+		return
+	}
+	r.cancel()
+	select {
+	case <-r.done:
+	case <-req.Context().Done():
+		writeJSON(w, http.StatusAccepted, r.info())
+		return
+	}
+	writeJSON(w, http.StatusOK, r.info())
+}
+
+func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	_ = s.reg.WritePrometheus(w)
+}
+
+func writeJSON(w http.ResponseWriter, code int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	_ = enc.Encode(v)
+}
+
+func writeErr(w http.ResponseWriter, code int, err error) {
+	writeJSON(w, code, map[string]string{"error": err.Error()})
+}
