@@ -21,6 +21,7 @@ import (
 	"cptgpt/internal/experiments"
 	"cptgpt/internal/mcn"
 	"cptgpt/internal/metrics"
+	"cptgpt/internal/replaynet"
 	"cptgpt/internal/scenario"
 	"cptgpt/internal/smm"
 	"cptgpt/internal/stats"
@@ -501,6 +502,47 @@ func BenchmarkSMMGenerate1000(b *testing.B) {
 			b.Fatal(err)
 		}
 	}
+}
+
+// closedBenchSource feeds n attach/detach events with 10ms trace spacing.
+type closedBenchSource struct{ i, n int }
+
+func (s *closedBenchSource) NextReplayEvent() (replaynet.ReplayEvent, bool, error) {
+	if s.i >= s.n {
+		return replaynet.ReplayEvent{}, false, nil
+	}
+	ev := replaynet.ReplayEvent{Time: float64(s.i) * 0.01, UE: uint64((s.i / 2) % 32), Type: events.Attach}
+	if s.i%2 == 1 {
+		ev.Type = events.Detach
+	}
+	s.i++
+	return ev, true, nil
+}
+
+// BenchmarkReplayClosedLoopPerEvent measures the acknowledged closed-loop
+// replay transport end to end over loopback TCP: sequenced SEVENT frames
+// out, cumulative ACKs back, CUBIC window growth, RTT estimation and
+// latency-histogram accounting all on the measured path. Reported as
+// amortized ns per acknowledged signaling transaction.
+func BenchmarkReplayClosedLoopPerEvent(b *testing.B) {
+	srv, err := replaynet.ListenAndServe("127.0.0.1:0", events.Gen4G)
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer srv.Close()
+	const n = 5000
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		st, err := replaynet.ReplayClosed(srv.Addr().String(), events.Gen4G,
+			&closedBenchSource{n: n}, replaynet.ClosedOpts{SessionID: uint64(i + 1)})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if st.Acked != n {
+			b.Fatalf("acked %d, want %d", st.Acked, n)
+		}
+	}
+	b.ReportMetric(float64(b.Elapsed().Nanoseconds())/float64(b.N*n), "ns/event")
 }
 
 func BenchmarkReplayValidation(b *testing.B) {

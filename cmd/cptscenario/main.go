@@ -44,13 +44,28 @@ func main() {
 		out      = flag.String("out", "", "output path for jsonl/csv sinks (default stdout; .gz compresses)")
 		addr     = flag.String("addr", "127.0.0.1:9000", "replaynet server address (replay sink)")
 		speedup  = flag.Float64("speedup", 0, "trace-time speedup for the replay sink (0 = full speed)")
-		par      = flag.Int("parallelism", 0, "generation worker count (0 = all cores); output is identical at any value")
-		batch    = flag.Int("batch", 0, "UE streams per generation chunk (0 = default); output is identical at any value")
-		fanIn    = flag.Int("fanin", 0, "merge fan-in bound (0 = default)")
-		tmp      = flag.String("tmp", "", "spill directory (default system temp)")
-		prec     = flag.String("precision", "", "override cptgpt sources' decode arithmetic: f64 (bit-exact) or f32 (fast float32 path); empty keeps each source's spec setting")
-		specDec  = flag.String("speculative", "", "override cptgpt sources' speculative decoding: on or off; empty keeps each source's spec setting")
-		draftK   = flag.Int("draft-k", 0, "override cptgpt sources' speculative draft chain length (0 keeps spec settings)")
+
+		closedLoop = flag.Bool("closed-loop", false, "replay sink: acknowledged closed-loop driver (CUBIC window, RTT/RTO, reconnect-resume) instead of open-loop pacing")
+		sloP99     = flag.Duration("slo-p99", 0, "replay sink: run the SLO-search controller, ramping offered load to the max sustained rate whose p99 transaction latency meets this SLO (implies -closed-loop)")
+		sloRate    = flag.Float64("slo-rate", 0, "SLO search: initial probe rate in events/s (0 = default)")
+		sloWindow  = flag.Int("slo-window", 0, "SLO search: acked events per probe window (0 = default)")
+
+		replaySelf  = flag.Bool("replay-self", false, "replay sink: serve an in-process replaynet server instead of connecting to -addr (self-contained load tests)")
+		selfService = flag.Duration("self-service-time", 0, "replay-self: per-event service time (rate-limits the in-process server at 1/value events/s per connection)")
+
+		faultSeed    = flag.Uint64("fault-seed", 1, "fault injection: deterministic schedule seed")
+		faultDrop    = flag.Float64("fault-drop", 0, "fault injection: per-write silent drop probability [0,1]")
+		faultReset   = flag.Float64("fault-reset", 0, "fault injection: per-write connection reset probability [0,1]")
+		faultPartial = flag.Float64("fault-partial", 0, "fault injection: per-write partial-write-then-sever probability [0,1]")
+		faultStall   = flag.Float64("fault-stall", 0, "fault injection: per-call stall probability [0,1]")
+		faultSide    = flag.String("fault-side", "client", "fault injection side: client, server (needs -replay-self) or both")
+		par          = flag.Int("parallelism", 0, "generation worker count (0 = all cores); output is identical at any value")
+		batch        = flag.Int("batch", 0, "UE streams per generation chunk (0 = default); output is identical at any value")
+		fanIn        = flag.Int("fanin", 0, "merge fan-in bound (0 = default)")
+		tmp          = flag.String("tmp", "", "spill directory (default system temp)")
+		prec         = flag.String("precision", "", "override cptgpt sources' decode arithmetic: f64 (bit-exact) or f32 (fast float32 path); empty keeps each source's spec setting")
+		specDec      = flag.String("speculative", "", "override cptgpt sources' speculative decoding: on or off; empty keeps each source's spec setting")
+		draftK       = flag.Int("draft-k", 0, "override cptgpt sources' speculative draft chain length (0 keeps spec settings)")
 	)
 	flag.Parse()
 
@@ -146,17 +161,90 @@ func main() {
 		fmt.Fprintf(os.Stderr, "scenario %s: wrote %d events in %v\n", spec.Name, n, time.Since(start).Round(time.Millisecond))
 
 	case "replay":
+		fcfg := cptgen.FaultConfig{
+			Seed: *faultSeed, DropProb: *faultDrop, ResetProb: *faultReset,
+			PartialProb: *faultPartial, StallProb: *faultStall,
+		}
+		if err := fcfg.Validate(); err != nil {
+			log.Fatal(err)
+		}
+		faultsOn := *faultDrop > 0 || *faultReset > 0 || *faultPartial > 0 || *faultStall > 0
+		switch *faultSide {
+		case "client", "server", "both":
+		default:
+			log.Fatalf("unknown -fault-side %q (want client, server or both)", *faultSide)
+		}
+		if faultsOn && *faultSide != "client" && !*replaySelf {
+			log.Fatal("server-side fault injection requires -replay-self")
+		}
+
 		st, err := cptgen.OpenScenario(spec, opts)
 		if err != nil {
 			log.Fatal(err)
 		}
-		stats, err := scenario.ReplayTCP(*addr, st, cptgen.ReplayOpts{Speedup: *speedup})
-		st.Close()
-		if err != nil {
-			log.Fatal(err)
+		target := *addr
+		if *replaySelf {
+			sopts := cptgen.ReplayServerOpts{ServiceTime: *selfService}
+			if faultsOn && *faultSide != "client" {
+				cfg := fcfg
+				sopts.Fault = &cfg
+			}
+			srv, err := cptgen.ListenMCNOpts("127.0.0.1:0", st.Generation(), sopts)
+			if err != nil {
+				st.Close()
+				log.Fatal(err)
+			}
+			defer srv.Close()
+			target = srv.Addr().String()
 		}
-		fmt.Printf("scenario %s replayed in %v: server saw %d events, %d rejected, peak %d connected UEs\n",
-			spec.Name, time.Since(start).Round(time.Millisecond), stats.Events, stats.Rejected, stats.PeakConnectedUEs)
+		copts := cptgen.ReplayClosedOpts{Speedup: *speedup}
+		if faultsOn && *faultSide != "server" {
+			copts.Dial = cptgen.FaultDialer(fcfg)
+		}
+
+		switch {
+		case *sloP99 > 0:
+			res, err := scenario.ReplaySLOSearch(target, st, copts, cptgen.ReplaySearchOpts{
+				SLOP99: *sloP99, InitialRate: *sloRate, WindowEvents: *sloWindow,
+			})
+			st.Close()
+			if err != nil {
+				log.Fatal(err)
+			}
+			for i, r := range res.Rounds {
+				fmt.Printf("round %2d: offered %8.1f/s achieved %8.1f/s p99 %8s  %s\n",
+					i+1, r.Rate, r.Achieved, r.P99.Round(time.Microsecond),
+					map[bool]string{true: "met", false: "VIOLATED"}[r.Met])
+			}
+			fmt.Printf("scenario %s slo-search in %v: max sustained rate %.1f events/s at p99 ≤ %v (converged=%v, %d rounds)\n",
+				spec.Name, time.Since(start).Round(time.Millisecond), res.MaxRate, *sloP99, res.Converged, len(res.Rounds))
+			fmt.Printf("transport: sent=%d acked=%d retx=%d reconnects=%d srtt=%v final_cwnd=%.1f\n",
+				res.Transport.Sent, res.Transport.Acked, res.Transport.Retransmits,
+				res.Transport.Reconnects, res.Transport.SRTT.Round(time.Microsecond), res.Transport.FinalCwnd)
+
+		case *closedLoop:
+			cst, err := scenario.ReplayClosed(target, st, copts)
+			st.Close()
+			if err != nil {
+				log.Fatal(err)
+			}
+			fmt.Printf("scenario %s closed-loop replayed in %v: server applied %d events (%d rejected, %d duplicates suppressed), peak %d connected UEs\n",
+				spec.Name, time.Since(start).Round(time.Millisecond), cst.Server.Events,
+				cst.Server.Rejected, cst.Server.Duplicates, cst.Server.PeakConnectedUEs)
+			fmt.Printf("transport: sent=%d acked=%d retx=%d reconnects=%d rate=%.1f/s latency mean=%v p99=%v srtt=%v cwnd=%.1f\n",
+				cst.Sent, cst.Acked, cst.Retransmits, cst.Reconnects, cst.AchievedRate,
+				cst.MeanLatency.Round(time.Microsecond), cst.P99Latency.Round(time.Microsecond),
+				cst.SRTT.Round(time.Microsecond), cst.FinalCwnd)
+
+		default:
+			stats, err := scenario.ReplayTCP(target, st, cptgen.ReplayOpts{Speedup: *speedup})
+			st.Close()
+			if err != nil {
+				log.Fatal(err)
+			}
+			fmt.Printf("scenario %s replayed in %v: server saw %d events, %d rejected, peak %d connected UEs\n",
+				spec.Name, time.Since(start).Round(time.Millisecond), stats.Events, stats.Rejected, stats.PeakConnectedUEs)
+		}
 
 	default:
 		log.Fatalf("unknown sink %q (want count, mcn, jsonl, csv or replay)", *sink)

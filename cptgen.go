@@ -22,8 +22,11 @@
 package cptgen
 
 import (
+	"net"
+
 	"cptgpt/internal/cptgpt"
 	"cptgpt/internal/events"
+	"cptgpt/internal/faultnet"
 	"cptgpt/internal/mcn"
 	"cptgpt/internal/metrics"
 	"cptgpt/internal/netshare"
@@ -295,6 +298,24 @@ type (
 	ReplayStatsReport = replaynet.Stats
 	// ReplayOpts tunes a TCP replay run.
 	ReplayOpts = replaynet.ReplayOpts
+	// ReplayServerOpts tunes a TCP MCN frontend (service time, ack batching,
+	// fault injection).
+	ReplayServerOpts = replaynet.ServerOpts
+	// ReplayClosedOpts tunes a closed-loop (acknowledged, congestion-
+	// controlled) replay run.
+	ReplayClosedOpts = replaynet.ClosedOpts
+	// ReplayClosedStats summarizes a closed-loop replay run.
+	ReplayClosedStats = replaynet.ClosedStats
+	// ReplayLiveStats publishes a running closed-loop replay's transport
+	// state (cwnd, sRTT, RTO, in-flight, retransmits) as atomics.
+	ReplayLiveStats = replaynet.LiveStats
+	// ReplaySearchOpts tunes the SLO-search controller.
+	ReplaySearchOpts = replaynet.SearchOpts
+	// ReplaySearchResult is the SLO search outcome.
+	ReplaySearchResult = replaynet.SearchResult
+	// FaultConfig is the deterministic fault-injection schedule applied to a
+	// connection side (see internal/faultnet).
+	FaultConfig = faultnet.Config
 )
 
 // DefaultMCNConfig returns the default simulated-MCN configuration.
@@ -307,6 +328,20 @@ func SimulateMCN(d *Dataset, cfg MCNConfig) (*MCNReport, error) { return mcn.Run
 // ListenMCN starts a TCP MCN frontend (see internal/replaynet's protocol).
 func ListenMCN(addr string, gen Generation) (*ReplayServer, error) {
 	return replaynet.ListenAndServe(addr, gen)
+}
+
+// ListenMCNOpts is ListenMCN with explicit server options: a per-event
+// service time (rate limit), ack batching and deterministic fault injection
+// on accepted connections.
+func ListenMCNOpts(addr string, gen Generation, opts ReplayServerOpts) (*ReplayServer, error) {
+	return replaynet.ListenAndServeOpts(addr, gen, opts)
+}
+
+// FaultDialer returns a dial function injecting cfg's deterministic fault
+// schedule into every dialed connection — plug it into
+// ReplayClosedOpts.Dial to exercise a driver's robustness paths.
+func FaultDialer(cfg FaultConfig) func(addr string) (net.Conn, error) {
+	return faultnet.Dialer(cfg)
 }
 
 // ReplayOverTCP paces a dataset's events onto a replaynet server and

@@ -1,0 +1,167 @@
+package faultnet
+
+import (
+	"bytes"
+	"io"
+	"net"
+	"testing"
+	"time"
+)
+
+// pipePair returns both ends of an in-process TCP connection.
+func pipePair(t *testing.T) (client, server net.Conn) {
+	t.Helper()
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ln.Close()
+	ch := make(chan net.Conn, 1)
+	go func() {
+		c, err := ln.Accept()
+		if err != nil {
+			close(ch)
+			return
+		}
+		ch <- c
+	}()
+	c, err := net.Dial("tcp", ln.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, ok := <-ch
+	if !ok {
+		c.Close()
+		t.Fatal("accept failed")
+	}
+	t.Cleanup(func() { c.Close(); s.Close() })
+	return c, s
+}
+
+func TestZeroConfigPassthrough(t *testing.T) {
+	c, s := pipePair(t)
+	fc := Wrap(c, Config{})
+	msg := []byte("hello, wire")
+	if _, err := fc.Write(msg); err != nil {
+		t.Fatal(err)
+	}
+	got := make([]byte, len(msg))
+	if _, err := io.ReadFull(s, got); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, msg) {
+		t.Fatalf("got %q", got)
+	}
+}
+
+func TestDropLosesBytesSilently(t *testing.T) {
+	c, s := pipePair(t)
+	fc := Wrap(c, Config{Seed: 42, DropProb: 1})
+	if n, err := fc.Write([]byte("vanishes")); err != nil || n != 8 {
+		t.Fatalf("drop must report success, got n=%d err=%v", n, err)
+	}
+	if fc.Drops.Load() != 1 {
+		t.Fatalf("drops=%d, want 1", fc.Drops.Load())
+	}
+	// Nothing may arrive.
+	s.SetReadDeadline(time.Now().Add(50 * time.Millisecond))
+	buf := make([]byte, 8)
+	if n, err := s.Read(buf); err == nil {
+		t.Fatalf("read %d dropped bytes", n)
+	}
+}
+
+func TestResetSeversBothDirections(t *testing.T) {
+	c, s := pipePair(t)
+	fc := Wrap(c, Config{Seed: 7, ResetProb: 1})
+	if _, err := fc.Write([]byte("x")); err == nil {
+		t.Fatal("reset write must error")
+	}
+	if _, err := fc.Write([]byte("y")); err == nil {
+		t.Fatal("severed conn must stay dead")
+	}
+	// The peer observes EOF (or a reset) promptly.
+	s.SetReadDeadline(time.Now().Add(time.Second))
+	if _, err := s.Read(make([]byte, 1)); err == nil {
+		t.Fatal("peer must see the close")
+	}
+}
+
+func TestPartialWriteSendsPrefixThenSevers(t *testing.T) {
+	c, s := pipePair(t)
+	fc := Wrap(c, Config{Seed: 3, PartialProb: 1})
+	msg := []byte("0123456789")
+	n, err := fc.Write(msg)
+	if err == nil {
+		t.Fatal("partial write must error")
+	}
+	if n != len(msg)/2 {
+		t.Fatalf("wrote %d, want %d", n, len(msg)/2)
+	}
+	got := make([]byte, n)
+	s.SetReadDeadline(time.Now().Add(time.Second))
+	if _, err := io.ReadFull(s, got); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, msg[:n]) {
+		t.Fatalf("prefix %q", got)
+	}
+}
+
+func TestStallDelaysWrite(t *testing.T) {
+	c, s := pipePair(t)
+	_ = s
+	fc := Wrap(c, Config{Seed: 5, StallProb: 1, StallDur: 30 * time.Millisecond})
+	start := time.Now()
+	if _, err := fc.Write([]byte("x")); err != nil {
+		t.Fatal(err)
+	}
+	if d := time.Since(start); d < 25*time.Millisecond {
+		t.Fatalf("stall only delayed %v", d)
+	}
+	if fc.Stalls.Load() == 0 {
+		t.Fatal("stall counter did not fire")
+	}
+}
+
+// TestDeterministicSchedule pins that the same seed yields the same fault
+// decisions over the same call sequence.
+func TestDeterministicSchedule(t *testing.T) {
+	schedule := func(seed uint64) []bool {
+		c, _ := pipePair(t)
+		fc := Wrap(c, Config{Seed: seed, DropProb: 0.5})
+		var out []bool
+		for i := 0; i < 64; i++ {
+			before := fc.Drops.Load()
+			fc.Write([]byte("abcdef"))
+			out = append(out, fc.Drops.Load() > before)
+		}
+		return out
+	}
+	a, b := schedule(11), schedule(11)
+	other := schedule(12)
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("same seed diverged at write %d", i)
+		}
+	}
+	same := true
+	for i := range a {
+		if a[i] != other[i] {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Fatal("different seeds produced an identical 64-write schedule")
+	}
+}
+
+func TestValidateRejectsBadProb(t *testing.T) {
+	if err := (Config{DropProb: 1.5}).Validate(); err == nil {
+		t.Fatal("DropProb 1.5 must be rejected")
+	}
+	if err := (Config{StallProb: -0.1}).Validate(); err == nil {
+		t.Fatal("negative StallProb must be rejected")
+	}
+}

@@ -183,10 +183,13 @@ type ArrivalSource interface {
 	NextArrival() (a Arrival, ok bool, err error)
 }
 
-// latencyHist is a log-spaced latency histogram: bucket 0 holds latencies
+// LatencyHist is a log-spaced latency histogram: bucket 0 holds latencies
 // below histMin seconds, then histPerDecade buckets per decade up to
 // histMax, then one overflow bucket. Percentile queries return the upper
-// edge of the bucket holding the requested rank.
+// edge of the bucket holding the requested rank (≤ 16%/decade apart), and
+// the mean is exact — O(1) memory regardless of the sample count. It backs
+// the MCN simulator's latency report and the closed-loop replay driver's
+// per-transaction SLO accounting. Not safe for concurrent use.
 const (
 	histMin       = 1e-5
 	histMax       = 1e4
@@ -195,17 +198,19 @@ const (
 
 var histBuckets = 2 + histPerDecade*9 // decades in [1e-5, 1e4)
 
-type latencyHist struct {
+type LatencyHist struct {
 	counts []int
 	n      int
 	sum    float64
 }
 
-func newLatencyHist() *latencyHist {
-	return &latencyHist{counts: make([]int, histBuckets)}
+// NewLatencyHist returns an empty histogram.
+func NewLatencyHist() *LatencyHist {
+	return &LatencyHist{counts: make([]int, histBuckets)}
 }
 
-func (h *latencyHist) add(l float64) {
+// Add records one latency sample in seconds.
+func (h *LatencyHist) Add(l float64) {
 	h.n++
 	h.sum += l
 	switch {
@@ -222,15 +227,27 @@ func (h *latencyHist) add(l float64) {
 	}
 }
 
-func (h *latencyHist) mean() float64 {
+// Count returns the number of recorded samples.
+func (h *LatencyHist) Count() int { return h.n }
+
+// Reset clears the histogram for reuse (a controller's per-probe-window
+// measurements reuse one allocation).
+func (h *LatencyHist) Reset() {
+	clear(h.counts)
+	h.n = 0
+	h.sum = 0
+}
+
+// Mean returns the exact mean of the recorded samples.
+func (h *LatencyHist) Mean() float64 {
 	if h.n == 0 {
 		return 0
 	}
 	return h.sum / float64(h.n)
 }
 
-// quantile returns the upper edge of the bucket containing the q-quantile.
-func (h *latencyHist) quantile(q float64) float64 {
+// Quantile returns the upper edge of the bucket containing the q-quantile.
+func (h *LatencyHist) Quantile(q float64) float64 {
 	if h.n == 0 {
 		return 0
 	}
@@ -327,7 +344,7 @@ func RunStream(gen events.Generation, src ArrivalSource, cfg Config) (*Report, e
 	maxInstances := instances
 
 	rep := &Report{}
-	hist := newLatencyHist()
+	hist := NewLatencyHist()
 	connected := 0
 	var winStart float64
 	winArrivals := 0
@@ -342,9 +359,9 @@ func RunStream(gen events.Generation, src ArrivalSource, cfg Config) (*Report, e
 		if cfg.Live == nil {
 			return
 		}
-		cfg.Live.MeanLatencyNanos.Store(int64(hist.mean() * 1e9))
-		cfg.Live.P95LatencyNanos.Store(int64(hist.quantile(0.95) * 1e9))
-		cfg.Live.P99LatencyNanos.Store(int64(hist.quantile(0.99) * 1e9))
+		cfg.Live.MeanLatencyNanos.Store(int64(hist.Mean() * 1e9))
+		cfg.Live.P95LatencyNanos.Store(int64(hist.Quantile(0.95) * 1e9))
+		cfg.Live.P99LatencyNanos.Store(int64(hist.Quantile(0.99) * 1e9))
 		cfg.Live.Instances.Store(int64(instances))
 	}
 
@@ -467,7 +484,7 @@ func RunStream(gen events.Generation, src ArrivalSource, cfg Config) (*Report, e
 		start := math.Max(free, a.Time)
 		finish := start + cost
 		heap.Push(&servers, finish)
-		hist.add(finish - a.Time)
+		hist.Add(finish - a.Time)
 		winBusy += cost
 	}
 	if !started {
@@ -475,9 +492,9 @@ func RunStream(gen events.Generation, src ArrivalSource, cfg Config) (*Report, e
 	}
 	closeWindow(winStart + cfg.Window)
 
-	rep.MeanLatencySec = hist.mean()
-	rep.P95LatencySec = hist.quantile(0.95)
-	rep.P99LatencySec = hist.quantile(0.99)
+	rep.MeanLatencySec = hist.Mean()
+	rep.P95LatencySec = hist.Quantile(0.95)
+	rep.P99LatencySec = hist.Quantile(0.99)
 	rep.FinalInstances = instances
 	rep.MaxInstancesUsed = maxInstances
 	publishQuantiles()

@@ -87,6 +87,20 @@ func ReplayStream(addr string, gen events.Generation, src EventSource, opts Repl
 	ueIdx := make(map[uint64]uint32)
 	var t0 float64
 	first := true
+	// The writer is buffered for throughput, but a paced replay must not let
+	// events sit in the buffer while the pacer sleeps — the server would see
+	// them in bursts a flush interval late instead of on their schedule. So
+	// the buffer is flushed before every pacing sleep and, on unpaced or
+	// densely-paced stretches, at least every flushEvery of wall time.
+	const flushEvery = 50 * time.Millisecond
+	lastFlush := start
+	flush := func() error {
+		if err := bw.Flush(); err != nil {
+			return fmt.Errorf("replaynet: flushing: %w", err)
+		}
+		lastFlush = time.Now()
+		return nil
+	}
 	for {
 		ev, ok, err := src.NextReplayEvent()
 		if err != nil {
@@ -105,7 +119,15 @@ func ReplayStream(addr string, gen events.Generation, src EventSource, opts Repl
 		if opts.Speedup > 0 {
 			due := time.Duration((ev.Time - t0) / opts.Speedup * float64(time.Second))
 			if wait := due - time.Since(start); wait > 0 {
+				if err := flush(); err != nil {
+					return Stats{}, err
+				}
 				time.Sleep(wait)
+			}
+		}
+		if time.Since(lastFlush) >= flushEvery {
+			if err := flush(); err != nil {
+				return Stats{}, err
 			}
 		}
 		idx, seen := ueIdx[ev.UE]

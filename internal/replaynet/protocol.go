@@ -14,6 +14,19 @@
 //	           REPORT frame
 //	REPORT  := type 'R', payload = JSON-encoded Stats
 //	BYE     := type 'B', payload empty
+//
+// The closed-loop extension (PR 7) adds acknowledged, sequenced delivery on
+// top — the open-loop frames above are untouched and the open-loop wire
+// byte stream is byte-identical to before:
+//
+//	CHELLO  := type 'C', payload = generation(1) sessionID(8) — closed-loop
+//	           hello; the server creates or resumes the session and answers
+//	           with an ACK frame carrying the session's applied sequence
+//	           number, from which the client resumes without duplication
+//	SEVENT  := type 'Q', payload = seq(8) ueIdx(4) timeMicros(8) eventType(1)
+//	           — a sequenced event; seq starts at 1 and increases by 1
+//	ACK     := type 'A', payload = appliedSeq(8) — cumulative: every event
+//	           with seq ≤ appliedSeq has been applied exactly once
 package replaynet
 
 import (
@@ -26,11 +39,14 @@ import (
 type frameType byte
 
 const (
-	frameHello  frameType = 'H'
-	frameEvent  frameType = 'E'
-	frameStats  frameType = 'S'
-	frameReport frameType = 'R'
-	frameBye    frameType = 'B'
+	frameHello       frameType = 'H'
+	frameEvent       frameType = 'E'
+	frameStats       frameType = 'S'
+	frameReport      frameType = 'R'
+	frameBye         frameType = 'B'
+	frameClosedHello frameType = 'C'
+	frameSeqEvent    frameType = 'Q'
+	frameAck         frameType = 'A'
 )
 
 // maxFrame bounds payload sizes to keep a malformed peer from forcing huge
@@ -87,4 +103,54 @@ func decodeEvent(payload []byte) (ueIdx uint32, timeMicros int64, ev byte, err e
 	return binary.BigEndian.Uint32(payload[0:4]),
 		int64(binary.BigEndian.Uint64(payload[4:12])),
 		payload[12], nil
+}
+
+// seqEventPayload encodes a SEVENT frame payload into buf (≥ 21 bytes).
+func seqEventPayload(buf []byte, seq uint64, ueIdx uint32, timeMicros int64, ev byte) []byte {
+	binary.BigEndian.PutUint64(buf[0:8], seq)
+	binary.BigEndian.PutUint32(buf[8:12], ueIdx)
+	binary.BigEndian.PutUint64(buf[12:20], uint64(timeMicros))
+	buf[20] = ev
+	return buf[:21]
+}
+
+// decodeSeqEvent decodes a SEVENT frame payload.
+func decodeSeqEvent(payload []byte) (seq uint64, ueIdx uint32, timeMicros int64, ev byte, err error) {
+	if len(payload) != 21 {
+		return 0, 0, 0, 0, fmt.Errorf("replaynet: SEVENT payload is %d bytes, want 21", len(payload))
+	}
+	return binary.BigEndian.Uint64(payload[0:8]),
+		binary.BigEndian.Uint32(payload[8:12]),
+		int64(binary.BigEndian.Uint64(payload[12:20])),
+		payload[20], nil
+}
+
+// closedHelloPayload encodes a CHELLO frame payload.
+func closedHelloPayload(gen byte, sessionID uint64) []byte {
+	buf := make([]byte, 9)
+	buf[0] = gen
+	binary.BigEndian.PutUint64(buf[1:9], sessionID)
+	return buf
+}
+
+// decodeClosedHello decodes a CHELLO frame payload.
+func decodeClosedHello(payload []byte) (gen byte, sessionID uint64, err error) {
+	if len(payload) != 9 {
+		return 0, 0, fmt.Errorf("replaynet: CHELLO payload is %d bytes, want 9", len(payload))
+	}
+	return payload[0], binary.BigEndian.Uint64(payload[1:9]), nil
+}
+
+// ackPayload encodes an ACK frame payload into buf (≥ 8 bytes).
+func ackPayload(buf []byte, appliedSeq uint64) []byte {
+	binary.BigEndian.PutUint64(buf[0:8], appliedSeq)
+	return buf[:8]
+}
+
+// decodeAck decodes an ACK frame payload.
+func decodeAck(payload []byte) (appliedSeq uint64, err error) {
+	if len(payload) != 8 {
+		return 0, fmt.Errorf("replaynet: ACK payload is %d bytes, want 8", len(payload))
+	}
+	return binary.BigEndian.Uint64(payload), nil
 }

@@ -8,17 +8,24 @@ import (
 	"io"
 	"net"
 	"sync"
+	"time"
 
 	"cptgpt/internal/events"
+	"cptgpt/internal/faultnet"
 	"cptgpt/internal/statemachine"
 )
 
 // Stats is the server-side accounting returned to drivers on request.
 type Stats struct {
-	// Events is the number of EVENT frames accepted; Rejected counts
+	// Events is the number of EVENT/SEVENT frames accepted; Rejected counts
 	// events that violated the UE state machine.
 	Events   int `json:"events"`
 	Rejected int `json:"rejected"`
+	// Duplicates counts closed-loop events suppressed by session sequence
+	// tracking (a retransmission of an already-applied event) — they are
+	// acknowledged but never re-applied, which is what keeps reconnecting
+	// drivers exactly-once.
+	Duplicates int `json:"duplicates,omitempty"`
 	// ConnectedUEs is the current number of UEs in the CONNECTED state;
 	// PeakConnectedUEs its high-water mark.
 	ConnectedUEs     int `json:"connected_ues"`
@@ -27,34 +34,84 @@ type Stats struct {
 	ByType map[string]int `json:"by_type"`
 }
 
+// ServerOpts tunes a server beyond the open-loop defaults. The zero value
+// reproduces the pre-closed-loop behavior exactly.
+type ServerOpts struct {
+	// ServiceTime, when positive, is the per-event processing time: the
+	// connection's read loop sleeps this long for every accepted event,
+	// bounding the per-connection consumption rate at 1/ServiceTime — the
+	// knob that turns the server into a rate-limited NF stand-in for
+	// closed-loop controller tests and benchmarks.
+	ServiceTime time.Duration
+	// AckEvery bounds how many applied closed-loop events may pass between
+	// ACK frames; an ACK is also emitted whenever the read buffer drains
+	// (the natural batch boundary). 0 means DefaultAckEvery.
+	AckEvery int
+	// Fault, when non-nil, wraps every accepted connection in a
+	// deterministic fault-injection schedule (per-connection seeds derived
+	// from Fault.Seed and the accept ordinal).
+	Fault *faultnet.Config
+}
+
+// DefaultAckEvery is the default ServerOpts.AckEvery.
+const DefaultAckEvery = 32
+
+// session is the per-driver closed-loop delivery state, keyed by the
+// client-chosen session ID and persistent across that driver's reconnects.
+type session struct {
+	applied uint64 // highest contiguously applied sequence number
+}
+
 // Server is an MCN control-plane frontend: it accepts driver connections,
 // consumes EVENT frames, validates them against the 3GPP state machine and
-// keeps per-UE state, mirroring a stateful core implementation.
+// keeps per-UE state, mirroring a stateful core implementation. Closed-loop
+// drivers (CHELLO/SEVENT) additionally get per-session cumulative ACKs with
+// exactly-once application across reconnects.
 type Server struct {
-	ln  net.Listener
-	gen events.Generation
+	ln   net.Listener
+	gen  events.Generation
+	opts ServerOpts
 
-	mu      sync.Mutex
-	stats   Stats
-	ueState map[uint32]statemachine.State
-	ueBoot  map[uint32]bool
-	closed  bool
-	wg      sync.WaitGroup
+	mu       sync.Mutex
+	stats    Stats
+	ueState  map[uint32]statemachine.State
+	ueBoot   map[uint32]bool
+	sessions map[uint64]*session
+	closed   bool
+	wg       sync.WaitGroup
 }
 
 // ListenAndServe starts a server on addr (e.g. "127.0.0.1:0") for the given
 // generation. It returns once the listener is ready; connections are served
 // on background goroutines until Close.
 func ListenAndServe(addr string, gen events.Generation) (*Server, error) {
+	return ListenAndServeOpts(addr, gen, ServerOpts{})
+}
+
+// ListenAndServeOpts is ListenAndServe with explicit server options.
+func ListenAndServeOpts(addr string, gen events.Generation, opts ServerOpts) (*Server, error) {
+	if opts.Fault != nil {
+		if err := opts.Fault.Validate(); err != nil {
+			return nil, err
+		}
+	}
+	if opts.AckEvery <= 0 {
+		opts.AckEvery = DefaultAckEvery
+	}
 	ln, err := net.Listen("tcp", addr)
 	if err != nil {
 		return nil, fmt.Errorf("replaynet: listen %s: %w", addr, err)
 	}
+	if opts.Fault != nil {
+		ln = faultnet.WrapListener(ln, *opts.Fault)
+	}
 	s := &Server{
-		ln:      ln,
-		gen:     gen,
-		ueState: make(map[uint32]statemachine.State),
-		ueBoot:  make(map[uint32]bool),
+		ln:       ln,
+		gen:      gen,
+		opts:     opts,
+		ueState:  make(map[uint32]statemachine.State),
+		ueBoot:   make(map[uint32]bool),
+		sessions: make(map[uint64]*session),
 	}
 	s.stats.ByType = make(map[string]int)
 	s.wg.Add(1)
@@ -102,11 +159,44 @@ func (s *Server) acceptLoop() {
 	}
 }
 
+// lookupSession returns (creating if needed) the session for id.
+func (s *Server) lookupSession(id uint64) *session {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	sess := s.sessions[id]
+	if sess == nil {
+		sess = &session{}
+		s.sessions[id] = sess
+	}
+	return sess
+}
+
 func (s *Server) serveConn(conn net.Conn) {
 	defer conn.Close()
 	br := bufio.NewReader(conn)
 	bw := bufio.NewWriter(conn)
 	machine := statemachine.New(s.gen)
+
+	var sess *session // non-nil once a CHELLO arrives
+	var ackBuf [8]byte
+	sinceAck := 0
+	// flushAck emits a cumulative ACK for the session's applied seq.
+	flushAck := func() bool {
+		if sess == nil {
+			return true
+		}
+		s.mu.Lock()
+		applied := sess.applied
+		s.mu.Unlock()
+		if err := writeFrame(bw, frameAck, ackPayload(ackBuf[:], applied)); err != nil {
+			return false
+		}
+		if err := bw.Flush(); err != nil {
+			return false
+		}
+		sinceAck = 0
+		return true
+	}
 
 	for {
 		t, payload, err := readFrame(br)
@@ -123,6 +213,17 @@ func (s *Server) serveConn(conn net.Conn) {
 			if len(payload) != 1 || events.Generation(payload[0]) != s.gen {
 				return
 			}
+		case frameClosedHello:
+			gen, id, err := decodeClosedHello(payload)
+			if err != nil || events.Generation(gen) != s.gen {
+				return
+			}
+			sess = s.lookupSession(id)
+			// The resume handshake: tell the (re)connecting driver exactly
+			// where the session stands so it resends only unapplied events.
+			if !flushAck() {
+				return
+			}
 		case frameEvent:
 			ue, _, evb, err := decodeEvent(payload)
 			if err != nil {
@@ -132,7 +233,53 @@ func (s *Server) serveConn(conn net.Conn) {
 			if !ev.Valid() {
 				return
 			}
+			if s.opts.ServiceTime > 0 {
+				time.Sleep(s.opts.ServiceTime)
+			}
 			s.consume(machine, ue, ev)
+		case frameSeqEvent:
+			if sess == nil {
+				return // sequenced events require a closed-loop hello
+			}
+			seq, ue, _, evb, err := decodeSeqEvent(payload)
+			if err != nil {
+				return
+			}
+			ev := events.Type(evb)
+			if !ev.Valid() {
+				return
+			}
+			s.mu.Lock()
+			applied := sess.applied
+			switch {
+			case seq <= applied:
+				// A retransmission of an already-applied event: count it,
+				// never re-apply — the exactly-once half of the contract.
+				s.stats.Duplicates++
+				s.mu.Unlock()
+			case seq == applied+1:
+				sess.applied = seq
+				s.mu.Unlock()
+				if s.opts.ServiceTime > 0 {
+					time.Sleep(s.opts.ServiceTime)
+				}
+				s.consume(machine, ue, ev)
+				sinceAck++
+			default:
+				// A gap: the driver always sends contiguously within one
+				// connection, so this is a protocol violation (e.g. bytes
+				// lost by a faulty link) — drop the connection and let the
+				// driver reconnect and resync from the resume ACK.
+				s.mu.Unlock()
+				return
+			}
+			// Ack per batch: when the read buffer drains (no more frames
+			// immediately pending) or every AckEvery applied events.
+			if sinceAck >= s.opts.AckEvery || br.Buffered() == 0 {
+				if !flushAck() {
+					return
+				}
+			}
 		case frameStats:
 			st := s.Snapshot()
 			body, err := json.Marshal(st)

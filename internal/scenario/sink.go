@@ -171,3 +171,18 @@ func (a replayAdapter) NextReplayEvent() (replaynet.ReplayEvent, bool, error) {
 func ReplayTCP(addr string, st EventSource, opts replaynet.ReplayOpts) (replaynet.Stats, error) {
 	return replaynet.ReplayStream(addr, st.Generation(), replayAdapter{st}, opts)
 }
+
+// ReplayClosed drains the stream onto a replaynet server in closed loop:
+// every event is an acknowledged signaling transaction, in-flight count is
+// governed by a CUBIC-style window and delivery is exactly-once across
+// connection failures. The congestion-controlled counterpart of ReplayTCP.
+func ReplayClosed(addr string, st EventSource, opts replaynet.ClosedOpts) (replaynet.ClosedStats, error) {
+	return replaynet.ReplayClosed(addr, st.Generation(), replayAdapter{st}, opts)
+}
+
+// ReplaySLOSearch drives the stream against a replaynet server with the
+// closed-loop SLO-search controller, ramping the offered event rate to find
+// the maximum sustained load whose p99 transaction latency meets the SLO.
+func ReplaySLOSearch(addr string, st EventSource, opts replaynet.ClosedOpts, search replaynet.SearchOpts) (replaynet.SearchResult, error) {
+	return replaynet.SLOSearch(addr, st.Generation(), replayAdapter{st}, opts, search)
+}

@@ -14,7 +14,9 @@ import (
 
 	"cptgpt/internal/cptgpt"
 	"cptgpt/internal/mcn"
+	"cptgpt/internal/replaynet"
 	"cptgpt/internal/scenario"
+	"cptgpt/internal/tensor"
 )
 
 // Run states. A run is born generating (the spill phase of the scenario
@@ -49,11 +51,18 @@ type StartRequest struct {
 	// time). 0 disables pacing — events pour out as fast as the sink
 	// accepts them.
 	Compression float64 `json:"compression,omitempty"`
-	// Sink is "count" (default), "mcn", "jsonl" or "csv".
+	// Sink is "count" (default), "mcn", "jsonl", "csv" or "replay".
 	Sink string `json:"sink,omitempty"`
 	// Out is the server-side output path for the jsonl/csv sinks
 	// (".gz" compresses).
 	Out string `json:"out,omitempty"`
+	// Addr is the replaynet server address for the replay sink (required
+	// there, reachability-probed at request time).
+	Addr string `json:"addr,omitempty"`
+	// ClosedLoop switches the replay sink to the acknowledged closed-loop
+	// driver (CUBIC window, RTT/RTO estimation, reconnect-resume); its
+	// transport state feeds the cptserved_replay_* series.
+	ClosedLoop bool `json:"closed_loop,omitempty"`
 	// Precision / Speculative / DraftTokens are the run-wide cptgpt
 	// overrides, with RunOpts semantics.
 	Precision   string `json:"precision,omitempty"`
@@ -100,6 +109,30 @@ type MCNStats struct {
 	P99Ms        float64 `json:"latency_p99_ms"`
 }
 
+// ReplayStats is the live closed-loop replay transport telemetry in
+// /runs/{id}/stats.
+type ReplayStats struct {
+	Cwnd        int64   `json:"cwnd"`
+	Inflight    int64   `json:"inflight"`
+	SRTTMs      float64 `json:"srtt_ms"`
+	RTOMs       float64 `json:"rto_ms"`
+	Sent        int64   `json:"sent"`
+	Acked       int64   `json:"acked"`
+	Retransmits int64   `json:"retransmits"`
+	Reconnects  int64   `json:"reconnects"`
+}
+
+// PoolStats is the run-window tensor worker-pool load telemetry in
+// /runs/{id}/stats: deltas of the process-wide pool counters across the
+// run's lifetime (the pool is shared, so overlapping runs both observe it).
+type PoolStats struct {
+	Workers      int     `json:"workers"`
+	ValidPolls   int64   `json:"valid_polls"`
+	EmptyPolls   int64   `json:"empty_polls"`
+	Items        int64   `json:"items"`
+	ItemsPerPoll float64 `json:"items_per_poll"`
+}
+
 // RunStats is the GET /runs/{id}/stats body: a point-in-time snapshot of a
 // run's live counters, safe to take while the run is in flight.
 type RunStats struct {
@@ -116,6 +149,8 @@ type RunStats struct {
 	PacerLagSeconds float64                `json:"pacer_lag_seconds"`
 	Sources         map[string]SourceStats `json:"sources,omitempty"`
 	MCN             *MCNStats              `json:"mcn,omitempty"`
+	Replay          *ReplayStats           `json:"replay,omitempty"`
+	Pool            *PoolStats             `json:"pool,omitempty"`
 }
 
 // run is one scenario execution owned by the daemon.
@@ -125,6 +160,8 @@ type run struct {
 	spec         *scenario.Spec
 	sink         string
 	out          string
+	addr         string
+	closedLoop   bool
 	ues          int
 	compression  float64
 	opts         scenario.RunOpts
@@ -140,6 +177,11 @@ type run struct {
 	decode map[string]*cptgpt.DecodeStats
 	// mcnLive is set for the mcn sink.
 	mcnLive *mcn.LiveStats
+	// replayLive is set for the closed-loop replay sink.
+	replayLive *replaynet.LiveStats
+	// poolBase is the process-wide tensor pool counter baseline captured at
+	// run start; stats() reports deltas against it.
+	poolBase tensor.PoolLoadStats
 
 	mu         sync.Mutex
 	state      string
@@ -272,6 +314,33 @@ func (r *run) stats() RunStats {
 			P99Ms:        float64(r.mcnLive.P99LatencyNanos.Load()) / 1e6,
 		}
 	}
+	if live := r.replayLive; live != nil {
+		st.Replay = &ReplayStats{
+			Cwnd:        live.CwndEvents.Load(),
+			Inflight:    live.Inflight.Load(),
+			SRTTMs:      float64(live.SRTTNanos.Load()) / 1e6,
+			RTOMs:       float64(live.RTONanos.Load()) / 1e6,
+			Sent:        live.Sent.Load(),
+			Acked:       live.Acked.Load(),
+			Retransmits: live.Retransmits.Load(),
+			Reconnects:  live.Reconnects.Load(),
+		}
+	}
+	if len(r.decode) > 0 {
+		// Pool load only accompanies runs that exercise the tensor pool
+		// (cptgpt sources); the deltas are against the run-start baseline.
+		cur := tensor.PoolLoad()
+		p := &PoolStats{
+			Workers:    cur.Workers,
+			ValidPolls: cur.ValidPolls - r.poolBase.ValidPolls,
+			EmptyPolls: cur.EmptyPolls - r.poolBase.EmptyPolls,
+			Items:      cur.Items - r.poolBase.Items,
+		}
+		if p.ValidPolls > 0 {
+			p.ItemsPerPoll = float64(p.Items) / float64(p.ValidPolls)
+		}
+		st.Pool = p
+	}
 	return st
 }
 
@@ -326,6 +395,38 @@ func (r *run) execute(ctx context.Context, mcnCfg mcn.Config) {
 		var n int
 		if n, err = r.writeFile(pacer); err == nil {
 			result = map[string]any{"events": n, "out": r.out}
+		}
+	case "replay":
+		// The pacer already paces against wall clock, so the replay drivers
+		// run unpaced (Speedup 0) on top of it. A DELETE cancels the pacer,
+		// which drains cleanly: the driver sees end-of-source, finishes the
+		// in-flight window and completes the STATS/BYE handshake, so the
+		// server-side session always ends on a frame boundary.
+		if r.closedLoop {
+			var cst replaynet.ClosedStats
+			if cst, err = scenario.ReplayClosed(r.addr, pacer, replaynet.ClosedOpts{Live: r.replayLive}); err == nil {
+				result = map[string]any{
+					"events":          cst.Server.Events,
+					"rejected":        cst.Server.Rejected,
+					"duplicates":      cst.Server.Duplicates,
+					"sent":            cst.Sent,
+					"acked":           cst.Acked,
+					"retransmits":     cst.Retransmits,
+					"reconnects":      cst.Reconnects,
+					"latency_mean_ms": float64(cst.MeanLatency) / 1e6,
+					"latency_p99_ms":  float64(cst.P99Latency) / 1e6,
+					"achieved_rate":   cst.AchievedRate,
+				}
+			}
+		} else {
+			var rst replaynet.Stats
+			if rst, err = scenario.ReplayTCP(r.addr, pacer, replaynet.ReplayOpts{}); err == nil {
+				result = map[string]any{
+					"events":             rst.Events,
+					"rejected":           rst.Rejected,
+					"peak_connected_ues": rst.PeakConnectedUEs,
+				}
+			}
 		}
 	default:
 		err = fmt.Errorf("served: unknown sink %q", r.sink)

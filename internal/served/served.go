@@ -28,6 +28,7 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"net"
 	"net/http"
 	"path/filepath"
 	"sync"
@@ -35,8 +36,10 @@ import (
 
 	"cptgpt/internal/cptgpt"
 	"cptgpt/internal/mcn"
+	"cptgpt/internal/replaynet"
 	"cptgpt/internal/scenario"
 	"cptgpt/internal/telemetry"
+	"cptgpt/internal/tensor"
 )
 
 // DefaultMaxFinishedRuns is the number of terminal runs retained (with
@@ -243,8 +246,30 @@ func validateStart(req *StartRequest) error {
 		if req.Out == "" {
 			return fmt.Errorf("sink %q requires out (server-side output path)", req.Sink)
 		}
+	case "replay":
+		if req.Out != "" {
+			return fmt.Errorf("sink %q takes no out path", req.Sink)
+		}
+		if req.Addr == "" {
+			return errors.New(`sink "replay" requires addr (replaynet server address)`)
+		}
+		// Probe reachability now so a bad address is a 400, not a run that
+		// starts, spins up the pipeline and then fails.
+		conn, err := net.DialTimeout("tcp", req.Addr, 2*time.Second)
+		if err != nil {
+			return fmt.Errorf("replay addr %q unreachable: %w", req.Addr, err)
+		}
+		conn.Close()
 	default:
-		return fmt.Errorf("unknown sink %q (want count, mcn, jsonl or csv)", req.Sink)
+		return fmt.Errorf("unknown sink %q (want count, mcn, jsonl, csv or replay)", req.Sink)
+	}
+	if req.Sink != "replay" {
+		if req.Addr != "" {
+			return fmt.Errorf("sink %q takes no addr", req.Sink)
+		}
+		if req.ClosedLoop {
+			return fmt.Errorf("closed_loop only applies to the replay sink")
+		}
 	}
 	return nil
 }
@@ -281,12 +306,15 @@ func (s *Server) handleStart(w http.ResponseWriter, req *http.Request) {
 		spec:         spec,
 		sink:         sink,
 		out:          body.Out,
+		addr:         body.Addr,
+		closedLoop:   body.ClosedLoop,
 		ues:          body.UEs,
 		compression:  body.Compression,
 		done:         make(chan struct{}),
 		decode:       make(map[string]*cptgpt.DecodeStats),
 		state:        StateGenerating,
 		startedAt:    time.Now(),
+		poolBase:     tensor.PoolLoad(),
 	}
 	for _, src := range spec.Sources {
 		if src.Kind == "cptgpt" {
@@ -295,6 +323,9 @@ func (s *Server) handleStart(w http.ResponseWriter, req *http.Request) {
 	}
 	if sink == "mcn" {
 		r.mcnLive = &mcn.LiveStats{}
+	}
+	if sink == "replay" && body.ClosedLoop {
+		r.replayLive = &replaynet.LiveStats{}
 	}
 	r.opts = scenario.RunOpts{
 		UEs:         body.UEs,
@@ -426,6 +457,27 @@ func (s *Server) registerRunMetrics(r *run) {
 			"MCN event latency (mean refreshes per metering window).",
 			func() float64 { return float64(live.P99LatencyNanos.Load()) / 1e9 },
 			append([]telemetry.Label{telemetry.L("stat", "p99")}, lbl...)...)
+	}
+
+	if live := r.replayLive; live != nil {
+		s.reg.GaugeFunc("cptserved_replay_cwnd",
+			"Closed-loop replay congestion window (in-flight event budget).",
+			func() float64 { return float64(live.CwndEvents.Load()) }, lbl...)
+		s.reg.GaugeFunc("cptserved_replay_srtt_seconds",
+			"Closed-loop replay smoothed transaction RTT.",
+			func() float64 { return float64(live.SRTTNanos.Load()) / 1e9 }, lbl...)
+		s.reg.GaugeFunc("cptserved_replay_rto_seconds",
+			"Closed-loop replay retransmission timeout.",
+			func() float64 { return float64(live.RTONanos.Load()) / 1e9 }, lbl...)
+		s.reg.CounterFunc("cptserved_replay_retx_total",
+			"Events retransmitted after a loss event.",
+			live.Retransmits.Load, lbl...)
+		s.reg.GaugeFunc("cptserved_replay_inflight",
+			"Sent-but-unacknowledged closed-loop events.",
+			func() float64 { return float64(live.Inflight.Load()) }, lbl...)
+		s.reg.CounterFunc("cptserved_replay_reconnects_total",
+			"Completed reconnect-and-resume handshakes.",
+			live.Reconnects.Load, lbl...)
 	}
 }
 

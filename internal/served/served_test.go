@@ -324,6 +324,13 @@ func TestDaemonCPTGPTSourceStats(t *testing.T) {
 	if src.SlotUtilization <= 0 || src.SlotUtilization > 1 {
 		t.Fatalf("slot utilization out of range: %+v", src)
 	}
+	// A cptgpt-source run reports the tensor pool's load deltas.
+	if stats.Pool == nil {
+		t.Fatalf("stats missing pool block: %+v", stats)
+	}
+	if stats.Pool.ValidPolls < 0 || stats.Pool.EmptyPolls < 0 || stats.Pool.Items < 0 {
+		t.Fatalf("pool deltas negative: %+v", stats.Pool)
+	}
 
 	body := scrapeMetrics(t, ts.URL)
 	if !strings.Contains(body, `cptserved_decode_steps_total{run="`+info.ID+`",scenario="gpt-inline",source="gpt"}`) {

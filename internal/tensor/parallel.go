@@ -55,6 +55,55 @@ var shardCh = make(chan shard, 256)
 // ever requested).
 var spawned atomic.Int32
 
+// workerLoad is one pool worker's load accounting, all atomics in the
+// cptgpt.DecodeStats idiom: the worker writes on its hot path, PoolLoad
+// aggregates from any goroutine without synchronizing against the pool.
+type workerLoad struct {
+	// validPolls counts channel receives that yielded a shard; emptyPolls
+	// counts the times the worker found the queue empty and had to block.
+	// items accumulates the index-range width of every executed shard, so
+	// items/validPolls is the mean shard size this worker has seen.
+	validPolls atomic.Int64
+	emptyPolls atomic.Int64
+	items      atomic.Int64
+}
+
+// workerLoads registers every worker's counters (append-only, guarded by
+// workerLoadsMu; readers copy the slice header under the lock and then read
+// atomics lock-free).
+var (
+	workerLoadsMu sync.Mutex
+	workerLoads   []*workerLoad
+)
+
+// PoolLoadStats is an aggregate snapshot of the worker pool's load
+// counters since process start. Deltas between snapshots give a run or
+// scrape window's pool utilization: a high empty-poll share means workers
+// mostly wait (the pool is over-provisioned for the workload), a high
+// items-per-poll means big shards (good amortization of hand-off cost).
+type PoolLoadStats struct {
+	// Workers is the number of pool workers spawned so far.
+	Workers int
+	// ValidPolls / EmptyPolls / Items aggregate the per-worker counters.
+	ValidPolls int64
+	EmptyPolls int64
+	Items      int64
+}
+
+// PoolLoad snapshots the pool's aggregate load counters.
+func PoolLoad() PoolLoadStats {
+	workerLoadsMu.Lock()
+	loads := workerLoads
+	workerLoadsMu.Unlock()
+	st := PoolLoadStats{Workers: len(loads)}
+	for _, wl := range loads {
+		st.ValidPolls += wl.validPolls.Load()
+		st.EmptyPolls += wl.emptyPolls.Load()
+		st.Items += wl.items.Load()
+	}
+	return st
+}
+
 func ensureWorkers(n int) {
 	for {
 		cur := spawned.Load()
@@ -62,10 +111,28 @@ func ensureWorkers(n int) {
 			return
 		}
 		if spawned.CompareAndSwap(cur, cur+1) {
+			wl := &workerLoad{}
+			workerLoadsMu.Lock()
+			workerLoads = append(workerLoads, wl)
+			workerLoadsMu.Unlock()
 			go func() {
-				for s := range shardCh {
+				run := func(s shard) {
+					wl.validPolls.Add(1)
+					wl.items.Add(int64(s.hi - s.lo))
 					s.fn(s.lo, s.hi)
 					s.wg.Done()
+				}
+				for {
+					// Non-blocking poll first so the empty/valid split is
+					// observable; an empty queue is counted once and then
+					// waited on (no spinning).
+					select {
+					case s := <-shardCh:
+						run(s)
+					default:
+						wl.emptyPolls.Add(1)
+						run(<-shardCh)
+					}
 				}
 			}()
 		}

@@ -1,0 +1,44 @@
+package tensor
+
+import (
+	"sync/atomic"
+	"testing"
+)
+
+// TestPoolLoadCounters pins the worker-pool load accounting: after a
+// sharded ParallelFor, the aggregate counters must show the executed
+// shards, every index must be covered, and the empty/valid poll split must
+// stay consistent (a worker that ran a shard polled validly at least once).
+func TestPoolLoadCounters(t *testing.T) {
+	prev := SetParallelism(4)
+	defer SetParallelism(prev)
+
+	before := PoolLoad()
+	const n = 1 << 12
+	var covered atomic.Int64
+	// workPerItem large enough to force sharding.
+	ParallelFor(n, parallelThreshold, func(lo, hi int) {
+		covered.Add(int64(hi - lo))
+	})
+	after := PoolLoad()
+
+	if covered.Load() != n {
+		t.Fatalf("covered %d indices, want %d", covered.Load(), n)
+	}
+	if after.Workers < 1 {
+		t.Fatalf("no pool workers spawned")
+	}
+	dValid := after.ValidPolls - before.ValidPolls
+	dItems := after.Items - before.Items
+	if dValid < 1 {
+		t.Fatalf("pool executed %d shards, want ≥ 1", dValid)
+	}
+	// The submitting goroutine runs shard 0 inline, so the pool sees at
+	// most n - chunk items and at least one shard's worth.
+	if dItems <= 0 || dItems >= n {
+		t.Fatalf("pool items delta %d outside (0, %d)", dItems, n)
+	}
+	if after.EmptyPolls < before.EmptyPolls || after.ValidPolls < before.ValidPolls {
+		t.Fatal("pool counters went backwards")
+	}
+}
