@@ -26,8 +26,10 @@ import (
 	"cptgpt/internal/smm"
 	"cptgpt/internal/stats"
 	"cptgpt/internal/synthetic"
+	"cptgpt/internal/telemetry"
 	"cptgpt/internal/tensor"
 	"cptgpt/internal/trace"
+	"cptgpt/internal/tracez"
 )
 
 var (
@@ -658,5 +660,46 @@ func BenchmarkScenarioFlashCrowd(b *testing.B) {
 		if i == 0 {
 			b.ReportMetric(float64(rep.Events), "events/op")
 		}
+	}
+}
+
+// BenchmarkTracezSpanDisabled measures the flight recorder's disabled-path
+// cost at an instrumented call site: one atomic load in Begin, one in End.
+// This is the overhead every hot loop pays when tracing is off, so it must
+// stay in the low single nanoseconds.
+func BenchmarkTracezSpanDisabled(b *testing.B) {
+	tracez.Disable()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		sp := tracez.Begin(tracez.StageDecodeStep, "")
+		sp.End(1, "")
+	}
+}
+
+// BenchmarkTracezSpanEnabled measures the full recording path: timestamping,
+// one span allocation, the ring store and the stage-aggregate updates.
+func BenchmarkTracezSpanEnabled(b *testing.B) {
+	tracez.Enable()
+	defer func() {
+		tracez.Disable()
+		tracez.Reset()
+	}()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		sp := tracez.Begin(tracez.StageDecodeStep, "")
+		sp.End(1, "")
+	}
+}
+
+// BenchmarkTelemetryHistogramObserve measures one lock-free histogram
+// sample: a log-bucket index, an atomic bucket add and the CAS sum loop.
+func BenchmarkTelemetryHistogramObserve(b *testing.B) {
+	h := telemetry.NewHistogram(telemetry.LatencyBuckets)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		h.Observe(float64(i%1000) * 1e-6)
 	}
 }

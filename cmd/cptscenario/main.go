@@ -29,6 +29,7 @@ import (
 
 	cptgen "cptgpt"
 	"cptgpt/internal/scenario"
+	"cptgpt/internal/tracez"
 )
 
 func main() {
@@ -63,11 +64,18 @@ func main() {
 		batch        = flag.Int("batch", 0, "UE streams per generation chunk (0 = default); output is identical at any value")
 		fanIn        = flag.Int("fanin", 0, "merge fan-in bound (0 = default)")
 		tmp          = flag.String("tmp", "", "spill directory (default system temp)")
+		trace        = flag.Bool("trace", false, "record flight-recorder spans and dump the per-stage timing summary to stderr on exit")
 		prec         = flag.String("precision", "", "override cptgpt sources' decode arithmetic: f64 (bit-exact) or f32 (fast float32 path); empty keeps each source's spec setting")
 		specDec      = flag.String("speculative", "", "override cptgpt sources' speculative decoding: on or off; empty keeps each source's spec setting")
 		draftK       = flag.Int("draft-k", 0, "override cptgpt sources' speculative draft chain length (0 keeps spec settings)")
 	)
 	flag.Parse()
+
+	if *trace {
+		tracez.Enable()
+		// log.Fatal paths skip this: the summary is a success-path report.
+		defer func() { fmt.Fprint(os.Stderr, tracez.Summary()) }()
+	}
 
 	// Validate up front: the overrides only reach the parser when the spec
 	// has a cptgpt source, and a typo must not be silently dropped on the

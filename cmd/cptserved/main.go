@@ -7,7 +7,8 @@
 // Usage:
 //
 //	cptserved [-addr 127.0.0.1:8080] [-preload model.cptgpt]... \
-//	          [-tmp DIR] [-parallelism N] [-keep N]
+//	          [-tmp DIR] [-parallelism N] [-keep N] \
+//	          [-log-level info] [-pprof]
 //
 // SIGINT/SIGTERM stop every run with a clean drain (sinks flush their
 // last released event) before the process exits.
@@ -17,13 +18,13 @@ import (
 	"context"
 	"flag"
 	"fmt"
-	"log"
 	"net/http"
 	"os"
 	"os/signal"
 	"syscall"
 	"time"
 
+	"cptgpt/internal/logz"
 	"cptgpt/internal/mcn"
 	"cptgpt/internal/served"
 )
@@ -34,6 +35,8 @@ func main() {
 	parallelism := flag.Int("parallelism", 0, "default generation worker bound per run (0 = engine default)")
 	keep := flag.Int("keep", 0, "finished runs retained before eviction (0 = default)")
 	drain := flag.Duration("drain", 30*time.Second, "graceful-shutdown drain budget")
+	logLevel := flag.String("log-level", "info", "log verbosity: debug|info|warn|error|off")
+	enablePprof := flag.Bool("pprof", false, "mount net/http/pprof under /debug/pprof/")
 	var preload []string
 	flag.Func("preload", "model file to load at startup (repeatable)", func(p string) error {
 		preload = append(preload, p)
@@ -44,41 +47,50 @@ func main() {
 		fmt.Fprintf(os.Stderr, "cptserved: unexpected arguments %v\n", flag.Args())
 		os.Exit(2)
 	}
+	lvl, err := logz.ParseLevel(*logLevel)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "cptserved: %v\n", err)
+		os.Exit(2)
+	}
+	logger := logz.New(os.Stderr, lvl)
 
 	s := served.New(served.Options{
 		TempDir:         *tmp,
 		Parallelism:     *parallelism,
 		MaxFinishedRuns: *keep,
 		MCN:             mcn.DefaultConfig(),
+		Log:             logger,
+		EnablePprof:     *enablePprof,
 	})
 	for _, p := range preload {
 		if err := s.PreloadModel(p); err != nil {
-			log.Fatalf("preload %s: %v", p, err)
+			logger.Errorw("preload failed", "path", p, "err", err)
+			os.Exit(1)
 		}
-		log.Printf("preloaded model %s", p)
 	}
 
 	srv := &http.Server{Addr: *addr, Handler: s.Handler()}
 	errCh := make(chan error, 1)
 	go func() { errCh <- srv.ListenAndServe() }()
-	log.Printf("cptserved listening on %s", *addr)
+	logger.Infow("cptserved listening", "addr", *addr, "pprof", *enablePprof)
 
 	sig := make(chan os.Signal, 1)
 	signal.Notify(sig, syscall.SIGINT, syscall.SIGTERM)
 	select {
 	case err := <-errCh:
-		log.Fatalf("serve: %v", err)
+		logger.Errorw("serve failed", "err", err)
+		os.Exit(1)
 	case got := <-sig:
-		log.Printf("received %v, draining runs", got)
+		logger.Infow("signal received, draining runs", "signal", got.String())
 	}
 
 	ctx, cancel := context.WithTimeout(context.Background(), *drain)
 	defer cancel()
 	if err := s.Close(ctx); err != nil {
-		log.Printf("drain incomplete: %v", err)
+		logger.Warnw("drain incomplete", "err", err)
 	}
 	if err := srv.Shutdown(ctx); err != nil {
-		log.Printf("http shutdown: %v", err)
+		logger.Warnw("http shutdown", "err", err)
 	}
-	log.Printf("cptserved stopped")
+	logger.Infow("cptserved stopped")
 }

@@ -13,10 +13,12 @@ import (
 	"flag"
 	"fmt"
 	"log"
+	"os"
 
 	cptgen "cptgpt"
 	"cptgpt/internal/events"
 	"cptgpt/internal/netshare"
+	"cptgpt/internal/tracez"
 )
 
 func main() {
@@ -38,8 +40,14 @@ func main() {
 		precision = flag.String("precision", "", "CPT-GPT decode arithmetic: f64 (bit-exact, default) or f32 (fast float32 path)")
 		spec      = flag.Bool("speculative", false, "CPT-GPT speculative decoding: a self-fitted draft proposes -draft-k tokens per UE, one multi-token pass verifies them; output distribution is exact, deterministic per -seed")
 		draftK    = flag.Int("draft-k", 0, "speculative draft chain length (0 = default)")
+		trace     = flag.Bool("trace", false, "record flight-recorder spans and dump the per-stage timing summary to stderr on exit")
 	)
 	flag.Parse()
+	if *trace {
+		tracez.Enable()
+		// log.Fatal paths skip this: the summary is a success-path report.
+		defer func() { fmt.Fprint(os.Stderr, tracez.Summary()) }()
+	}
 	if *par > 0 {
 		cptgen.SetParallelism(*par)
 	}

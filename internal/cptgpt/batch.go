@@ -4,8 +4,11 @@ import (
 	"fmt"
 	"math"
 	"sync/atomic"
+	"time"
 
+	"cptgpt/internal/telemetry"
 	"cptgpt/internal/tensor"
+	"cptgpt/internal/tracez"
 )
 
 // DefaultBatchSize is the number of UE streams a BatchDecoder steps per
@@ -49,6 +52,11 @@ type BatchDecoder struct {
 	// race detector watches), so every access is atomic.
 	steps, slotSteps             atomic.Int64
 	draftProposed, draftAccepted atomic.Int64
+
+	// stepHist, when set, observes each Step/StepK wall duration in
+	// seconds (see SetStepHist). Lock-free, so decoders on different
+	// workers may share one histogram.
+	stepHist *telemetry.Histogram
 
 	// Multi-token (StepK) state: kMax is the per-slot row capacity the K
 	// buffers are sized for, grown on demand by ensureK.
@@ -225,6 +233,12 @@ func (d *BatchDecoder) Stats() DecodeStats {
 	}
 }
 
+// SetStepHist attaches a lock-free duration histogram that observes every
+// Step/StepK wall time in seconds (nil detaches). The histogram's own
+// accounting is atomic, so the samplers' worker decoders can all share the
+// caller's one instrument. When unset, Step/StepK take no timestamps.
+func (d *BatchDecoder) SetStepHist(h *telemetry.Histogram) { d.stepHist = h }
+
 // countDraft accumulates speculative proposal/acceptance counts (called by
 // the speculative sampler after each verify pass).
 func (d *BatchDecoder) countDraft(proposed, accepted int64) {
@@ -250,6 +264,11 @@ func (d *BatchDecoder) stepCost() int {
 // deep slots freely — and a slot panics past MaxLen exactly like the serial
 // decoder.
 func (d *BatchDecoder) Step(slots []int, tokens []float64) []StepOut {
+	sp := tracez.Begin(tracez.StageDecodeStep, "")
+	var t0 time.Time
+	if d.stepHist != nil {
+		t0 = time.Now()
+	}
 	d.steps.Add(1)
 	d.slotSteps.Add(int64(len(slots)))
 	f32 := d.prec == F32
@@ -267,6 +286,10 @@ func (d *BatchDecoder) Step(slots []int, tokens []float64) []StepOut {
 			d.stepSlotF64(i, slots[i], tokens)
 		}
 	})
+	if d.stepHist != nil {
+		d.stepHist.Observe(time.Since(t0).Seconds())
+	}
+	sp.End(int64(len(slots)), "")
 	return d.outs[:len(slots)]
 }
 
@@ -565,6 +588,11 @@ func (d *BatchDecoder) StepK(slots []int, ks []int, kMax int, tokens []float64) 
 		total += int64(k)
 	}
 	d.ensureK(kMax)
+	sp := tracez.Begin(tracez.StageDecodeStepK, "")
+	var t0 time.Time
+	if d.stepHist != nil {
+		t0 = time.Now()
+	}
 	d.steps.Add(1)
 	d.slotSteps.Add(total)
 	f32 := d.prec == F32
@@ -577,6 +605,10 @@ func (d *BatchDecoder) StepK(slots []int, ks []int, kMax int, tokens []float64) 
 			d.stepSlotF64K(i, slots[i], ks[i], kMax, tokens)
 		}
 	})
+	if d.stepHist != nil {
+		d.stepHist.Observe(time.Since(t0).Seconds())
+	}
+	sp.End(total, "")
 	return d.outsK[:len(slots)]
 }
 

@@ -9,6 +9,7 @@ import (
 
 	"cptgpt/internal/events"
 	"cptgpt/internal/stats"
+	"cptgpt/internal/telemetry"
 	"cptgpt/internal/tensor"
 	"cptgpt/internal/trace"
 )
@@ -80,6 +81,11 @@ type GenOpts struct {
 	// scheduling steps plus, under Speculative, proposed/accepted draft
 	// tokens — the acceptance-rate telemetry.
 	Stats *DecodeStats
+	// StepHist, when non-nil, observes every BatchDecoder.Step/StepK wall
+	// duration (seconds) across all workers — the decode-step latency
+	// distribution behind the daemon's native Prometheus histogram. It is
+	// lock-free and never changes the generated output.
+	StepHist *telemetry.Histogram
 }
 
 // parallelism resolves the effective worker count.
@@ -181,6 +187,7 @@ func (m *Model) Generate(opts GenOpts) (*trace.Dataset, error) {
 				defer wg.Done()
 				// One decoder per worker, reused (Reset) across its batches.
 				dec := m.NewBatchDecoder(batch, opts.Precision)
+				dec.SetStepHist(opts.StepHist)
 				defer func() { addDecodeStats(opts.Stats, dec.Stats()) }()
 				for bi := range jobs {
 					lo := bi * batch
@@ -200,6 +207,7 @@ func (m *Model) Generate(opts GenOpts) (*trace.Dataset, error) {
 			go func() {
 				defer wg.Done()
 				dec := m.NewBatchDecoder(batch, opts.Precision)
+				dec.SetStepHist(opts.StepHist)
 				defer func() { addDecodeStats(opts.Stats, dec.Stats()) }()
 				if opts.Speculative {
 					m.sampleSpeculative(dec, streams, 0, &next, opts, init, draft)
@@ -246,6 +254,7 @@ func (m *Model) GenerateRange(lo, hi int, opts GenOpts) ([]trace.Stream, error) 
 	}
 	streams := make([]trace.Stream, n)
 	dec := m.NewBatchDecoder(batch, opts.Precision)
+	dec.SetStepHist(opts.StepHist)
 	defer func() { addDecodeStats(opts.Stats, dec.Stats()) }()
 	switch {
 	case opts.Speculative:

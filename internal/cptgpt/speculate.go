@@ -7,6 +7,7 @@ import (
 
 	"cptgpt/internal/stats"
 	"cptgpt/internal/trace"
+	"cptgpt/internal/tracez"
 )
 
 // Speculative decoding: emit several tokens per transformer pass while
@@ -351,6 +352,7 @@ func (m *Model) sampleSpeculative(dec *BatchDecoder, out []trace.Stream, baseIdx
 	for len(active) > 0 {
 		// Phase 1: resolve held heads, then draft a chain behind every
 		// slot's pending token.
+		draftSp := tracez.Begin(tracez.StageDecodeDraft, "")
 		slotsRun = slotsRun[:0]
 		ks = ks[:0]
 		for _, slot := range active {
@@ -383,14 +385,17 @@ func (m *Model) sampleSpeculative(dec *BatchDecoder, out []trace.Stream, baseIdx
 			slotsRun = append(slotsRun, slot)
 			ks = append(ks, c+1)
 		}
+		draftSp.End(int64(len(slotsRun)), "")
 		if len(slotsRun) == 0 {
 			break
 		}
 
-		// Phase 2: one multi-token verify pass for the whole batch.
+		// Phase 2: one multi-token verify pass for the whole batch
+		// (StepK records its own decode.stepk span).
 		outs := dec.StepK(slotsRun, ks, kMax, toks)
 
 		// Phase 3: acceptance–rejection over each slot's chain.
+		verifySp := tracez.Begin(tracez.StageDecodeVerify, "")
 		keep = keep[:0]
 		var propTotal, accTotal int64
 		for j, slot := range slotsRun {
@@ -450,6 +455,7 @@ func (m *Model) sampleSpeculative(dec *BatchDecoder, out []trace.Stream, baseIdx
 			keep = append(keep, slot)
 		}
 		dec.countDraft(propTotal, accTotal)
+		verifySp.End(accTotal, "")
 		active, keep = keep, active
 	}
 }

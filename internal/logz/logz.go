@@ -1,0 +1,184 @@
+// Package logz is a tiny leveled key=value logger for the serving daemon:
+// one line per event, RFC3339 timestamp, upper-case level, message, then
+// sorted-order-as-given key=value pairs — grep-friendly structured logging
+// without a dependency. A nil *Logger is valid and silent, so library code
+// can log unconditionally.
+package logz
+
+import (
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Level orders log severities. Off suppresses everything.
+type Level int32
+
+const (
+	LevelDebug Level = iota
+	LevelInfo
+	LevelWarn
+	LevelError
+	LevelOff
+)
+
+func (l Level) String() string {
+	switch l {
+	case LevelDebug:
+		return "DEBUG"
+	case LevelInfo:
+		return "INFO"
+	case LevelWarn:
+		return "WARN"
+	case LevelError:
+		return "ERROR"
+	default:
+		return "OFF"
+	}
+}
+
+// ParseLevel maps a -log-level flag value (case-insensitive) to a Level.
+func ParseLevel(s string) (Level, error) {
+	switch strings.ToLower(strings.TrimSpace(s)) {
+	case "debug":
+		return LevelDebug, nil
+	case "info", "":
+		return LevelInfo, nil
+	case "warn", "warning":
+		return LevelWarn, nil
+	case "error":
+		return LevelError, nil
+	case "off", "none":
+		return LevelOff, nil
+	default:
+		return LevelInfo, fmt.Errorf("logz: unknown level %q (want debug|info|warn|error|off)", s)
+	}
+}
+
+// Logger writes leveled key=value lines to one writer. Safe for concurrent
+// use; each line is written with a single Write under a mutex. The level is
+// atomic and may be changed at runtime.
+type Logger struct {
+	mu    sync.Mutex
+	w     io.Writer
+	level atomic.Int32
+	now   func() time.Time // test hook; nil means time.Now
+}
+
+// New returns a logger writing at-or-above lvl to w.
+func New(w io.Writer, lvl Level) *Logger {
+	l := &Logger{w: w}
+	l.level.Store(int32(lvl))
+	return l
+}
+
+// SetLevel changes the minimum emitted level.
+func (l *Logger) SetLevel(lvl Level) {
+	if l != nil {
+		l.level.Store(int32(lvl))
+	}
+}
+
+// Enabled reports whether lvl would be emitted.
+func (l *Logger) Enabled(lvl Level) bool {
+	return l != nil && int32(lvl) >= l.level.Load()
+}
+
+// needsQuote reports whether a value must be quoted to stay one token.
+func needsQuote(s string) bool {
+	if s == "" {
+		return true
+	}
+	for i := 0; i < len(s); i++ {
+		switch s[i] {
+		case ' ', '\t', '\n', '"', '=':
+			return true
+		}
+	}
+	return false
+}
+
+func appendValue(b []byte, v any) []byte {
+	switch x := v.(type) {
+	case string:
+		if needsQuote(x) {
+			return strconv.AppendQuote(b, x)
+		}
+		return append(b, x...)
+	case error:
+		return strconv.AppendQuote(b, x.Error())
+	case time.Duration:
+		return append(b, x.String()...)
+	case int:
+		return strconv.AppendInt(b, int64(x), 10)
+	case int64:
+		return strconv.AppendInt(b, x, 10)
+	case uint64:
+		return strconv.AppendUint(b, x, 10)
+	case float64:
+		return strconv.AppendFloat(b, x, 'g', -1, 64)
+	case bool:
+		return strconv.AppendBool(b, x)
+	case nil:
+		return append(b, "nil"...)
+	default:
+		s := fmt.Sprint(v)
+		if needsQuote(s) {
+			return strconv.AppendQuote(b, s)
+		}
+		return append(b, s...)
+	}
+}
+
+// log emits one line: `<ts> <LEVEL> <msg> k=v k=v ...`. kv pairs are
+// emitted in argument order; a trailing odd key gets the value "(missing)".
+func (l *Logger) log(lvl Level, msg string, kv ...any) {
+	if !l.Enabled(lvl) {
+		return
+	}
+	now := time.Now
+	if l.now != nil {
+		now = l.now
+	}
+	b := make([]byte, 0, 128)
+	b = now().UTC().AppendFormat(b, "2006-01-02T15:04:05.000Z")
+	b = append(b, ' ')
+	b = append(b, lvl.String()...)
+	b = append(b, ' ')
+	if strings.ContainsAny(msg, "\n\"") {
+		b = strconv.AppendQuote(b, msg)
+	} else {
+		b = append(b, msg...)
+	}
+	for i := 0; i+1 < len(kv); i += 2 {
+		b = append(b, ' ')
+		b = append(b, fmt.Sprint(kv[i])...)
+		b = append(b, '=')
+		b = appendValue(b, kv[i+1])
+	}
+	if len(kv)%2 == 1 {
+		b = append(b, ' ')
+		b = append(b, fmt.Sprint(kv[len(kv)-1])...)
+		b = append(b, "=(missing)"...)
+	}
+	b = append(b, '\n')
+	l.mu.Lock()
+	_, _ = l.w.Write(b)
+	l.mu.Unlock()
+}
+
+// Debugw logs at debug level with key=value pairs.
+func (l *Logger) Debugw(msg string, kv ...any) { l.log(LevelDebug, msg, kv...) }
+
+// Infow logs at info level with key=value pairs.
+func (l *Logger) Infow(msg string, kv ...any) { l.log(LevelInfo, msg, kv...) }
+
+// Warnw logs at warn level with key=value pairs.
+func (l *Logger) Warnw(msg string, kv ...any) { l.log(LevelWarn, msg, kv...) }
+
+// Errorw logs at error level with key=value pairs.
+func (l *Logger) Errorw(msg string, kv ...any) { l.log(LevelError, msg, kv...) }

@@ -1,0 +1,121 @@
+package logz
+
+import (
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+func fixedClock() func() time.Time {
+	at := time.Date(2024, 6, 1, 12, 30, 45, 123_000_000, time.UTC)
+	return func() time.Time { return at }
+}
+
+func TestLineFormat(t *testing.T) {
+	var b strings.Builder
+	l := New(&b, LevelDebug)
+	l.now = fixedClock()
+	l.Infow("run started", "run", "run-1", "events", int64(42), "rate", 1.5,
+		"ok", true, "dur", 250*time.Millisecond, "msg", "two words")
+	got := b.String()
+	want := `2024-06-01T12:30:45.123Z INFO run started run=run-1 events=42 rate=1.5 ok=true dur=250ms msg="two words"` + "\n"
+	if got != want {
+		t.Fatalf("line = %q\nwant  %q", got, want)
+	}
+}
+
+func TestLevels(t *testing.T) {
+	var b strings.Builder
+	l := New(&b, LevelWarn)
+	l.Debugw("nope")
+	l.Infow("nope")
+	l.Warnw("w")
+	l.Errorw("e")
+	out := b.String()
+	if strings.Contains(out, "nope") {
+		t.Fatalf("below-level lines emitted:\n%s", out)
+	}
+	if !strings.Contains(out, "WARN w") || !strings.Contains(out, "ERROR e") {
+		t.Fatalf("at-level lines missing:\n%s", out)
+	}
+	l.SetLevel(LevelOff)
+	l.Errorw("silent")
+	if strings.Contains(b.String(), "silent") {
+		t.Fatal("LevelOff still emitted")
+	}
+	if l.Enabled(LevelError) {
+		t.Fatal("Enabled(Error) true at LevelOff")
+	}
+}
+
+func TestNilLoggerSilent(t *testing.T) {
+	var l *Logger
+	// Must not panic; must report disabled.
+	l.Infow("x", "k", "v")
+	l.SetLevel(LevelDebug)
+	if l.Enabled(LevelError) {
+		t.Fatal("nil logger claims enabled")
+	}
+}
+
+func TestOddKeyValues(t *testing.T) {
+	var b strings.Builder
+	l := New(&b, LevelInfo)
+	l.now = fixedClock()
+	l.Infow("odd", "k")
+	if !strings.Contains(b.String(), "k=(missing)") {
+		t.Fatalf("odd trailing key not marked: %q", b.String())
+	}
+}
+
+func TestParseLevel(t *testing.T) {
+	for in, want := range map[string]Level{
+		"debug": LevelDebug, "info": LevelInfo, "": LevelInfo,
+		"WARN": LevelWarn, "warning": LevelWarn, "error": LevelError,
+		"off": LevelOff, "none": LevelOff,
+	} {
+		got, err := ParseLevel(in)
+		if err != nil || got != want {
+			t.Fatalf("ParseLevel(%q) = %v, %v; want %v", in, got, err, want)
+		}
+	}
+	if _, err := ParseLevel("loud"); err == nil {
+		t.Fatal("ParseLevel accepted garbage")
+	}
+}
+
+func TestConcurrentLines(t *testing.T) {
+	var b strings.Builder
+	var mu sync.Mutex
+	w := writerFunc(func(p []byte) (int, error) {
+		mu.Lock()
+		defer mu.Unlock()
+		return b.Write(p)
+	})
+	l := New(w, LevelInfo)
+	var wg sync.WaitGroup
+	for g := 0; g < 4; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 100; i++ {
+				l.Infow("tick", "g", i)
+			}
+		}()
+	}
+	wg.Wait()
+	lines := strings.Split(strings.TrimSuffix(b.String(), "\n"), "\n")
+	if len(lines) != 400 {
+		t.Fatalf("got %d lines, want 400", len(lines))
+	}
+	for _, line := range lines {
+		if !strings.Contains(line, "INFO tick g=") {
+			t.Fatalf("interleaved/torn line: %q", line)
+		}
+	}
+}
+
+type writerFunc func([]byte) (int, error)
+
+func (f writerFunc) Write(p []byte) (int, error) { return f(p) }

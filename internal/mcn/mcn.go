@@ -40,6 +40,7 @@ import (
 
 	"cptgpt/internal/events"
 	"cptgpt/internal/statemachine"
+	"cptgpt/internal/telemetry"
 	"cptgpt/internal/trace"
 )
 
@@ -64,6 +65,11 @@ type Config struct {
 	// counters while RunStream is still running (see LiveStats). It does
 	// not change the simulation.
 	Live *LiveStats
+	// LatencySink, when non-nil, mirrors every served event's latency
+	// sample (seconds) into a lock-free telemetry histogram — the
+	// distribution-level counterpart of Live's point quantiles, rendered
+	// natively on /metrics. It does not change the simulation.
+	LatencySink *telemetry.Histogram
 }
 
 // LiveStats publishes a running simulation's progress for concurrent
@@ -183,48 +189,36 @@ type ArrivalSource interface {
 	NextArrival() (a Arrival, ok bool, err error)
 }
 
-// LatencyHist is a log-spaced latency histogram: bucket 0 holds latencies
-// below histMin seconds, then histPerDecade buckets per decade up to
-// histMax, then one overflow bucket. Percentile queries return the upper
-// edge of the bucket holding the requested rank (≤ 16%/decade apart), and
-// the mean is exact — O(1) memory regardless of the sample count. It backs
-// the MCN simulator's latency report and the closed-loop replay driver's
-// per-transaction SLO accounting. Not safe for concurrent use.
-const (
-	histMin       = 1e-5
-	histMax       = 1e4
-	histPerDecade = 16
-)
-
-var histBuckets = 2 + histPerDecade*9 // decades in [1e-5, 1e4)
-
+// LatencyHist is a log-spaced latency histogram over the shared
+// telemetry.LatencyBuckets scheme: bucket 0 holds latencies below the
+// scheme's Min (10µs), then 16 buckets per decade up to 10ks, then one
+// overflow bucket. Percentile queries return the upper edge of the bucket
+// holding the requested rank (≤ 16%/decade apart), and the mean is exact —
+// O(1) memory regardless of the sample count. It backs the MCN simulator's
+// latency report and the closed-loop replay driver's per-transaction SLO
+// accounting; the bucket math lives in telemetry.Buckets so mcn, replaynet
+// and the Prometheus histograms agree on one edge set. Not safe for
+// concurrent use (the single-writer simulator loop); the lock-free
+// equivalent is telemetry.Histogram.
 type LatencyHist struct {
 	counts []int
 	n      int
 	sum    float64
 }
 
+// latencyBuckets is the shared log-bucket scheme (1e-5..1e4 s, 16/decade).
+var latencyBuckets = telemetry.LatencyBuckets
+
 // NewLatencyHist returns an empty histogram.
 func NewLatencyHist() *LatencyHist {
-	return &LatencyHist{counts: make([]int, histBuckets)}
+	return &LatencyHist{counts: make([]int, latencyBuckets.NumBuckets())}
 }
 
 // Add records one latency sample in seconds.
 func (h *LatencyHist) Add(l float64) {
 	h.n++
 	h.sum += l
-	switch {
-	case l < histMin:
-		h.counts[0]++
-	case l >= histMax:
-		h.counts[len(h.counts)-1]++
-	default:
-		idx := 1 + int(math.Floor(math.Log10(l/histMin)*histPerDecade))
-		if idx > len(h.counts)-2 {
-			idx = len(h.counts) - 2
-		}
-		h.counts[idx]++
-	}
+	h.counts[latencyBuckets.Index(l)]++
 }
 
 // Count returns the number of recorded samples.
@@ -246,7 +240,8 @@ func (h *LatencyHist) Mean() float64 {
 	return h.sum / float64(h.n)
 }
 
-// Quantile returns the upper edge of the bucket containing the q-quantile.
+// Quantile returns the upper edge of the bucket containing the q-quantile,
+// clamped to the scheme's [Min, Max].
 func (h *LatencyHist) Quantile(q float64) float64 {
 	if h.n == 0 {
 		return 0
@@ -256,17 +251,13 @@ func (h *LatencyHist) Quantile(q float64) float64 {
 	for i, c := range h.counts {
 		cum += c
 		if cum > rank {
-			switch i {
-			case 0:
-				return histMin
-			case len(h.counts) - 1:
-				return histMax
-			default:
-				return histMin * math.Pow(10, float64(i)/histPerDecade)
+			if i == len(h.counts)-1 {
+				return latencyBuckets.Max
 			}
+			return latencyBuckets.UpperEdge(i)
 		}
 	}
-	return histMax
+	return latencyBuckets.Max
 }
 
 // serverHeap is a min-heap of per-instance next-free times.
@@ -485,6 +476,9 @@ func RunStream(gen events.Generation, src ArrivalSource, cfg Config) (*Report, e
 		finish := start + cost
 		heap.Push(&servers, finish)
 		hist.Add(finish - a.Time)
+		if cfg.LatencySink != nil {
+			cfg.LatencySink.Observe(finish - a.Time)
+		}
 		winBusy += cost
 	}
 	if !started {

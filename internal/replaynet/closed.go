@@ -30,6 +30,8 @@ import (
 
 	"cptgpt/internal/events"
 	"cptgpt/internal/mcn"
+	"cptgpt/internal/telemetry"
+	"cptgpt/internal/tracez"
 )
 
 // LiveStats publishes a running closed-loop replay's transport state for
@@ -91,6 +93,11 @@ type ClosedOpts struct {
 	Dial func(addr string) (net.Conn, error)
 	// Live, when non-nil, receives the run's transport state as atomics.
 	Live *LiveStats
+	// RTTSink, when non-nil, mirrors every sampled send→ACK latency
+	// (seconds) into a lock-free telemetry histogram — the native
+	// Prometheus distribution behind a daemon's
+	// cptserved_replay_rtt_seconds series. Never changes the replay.
+	RTTSink *telemetry.Histogram
 }
 
 // withDefaults resolves zero fields to their defaults.
@@ -342,6 +349,7 @@ func (s *closedSession) connect() (uint64, error) {
 // resume the session from the server's applied sequence and retransmit the
 // rest of the in-flight window.
 func (s *closedSession) reconnect() error {
+	sp := tracez.Begin(tracez.StageReplayReconnect, "")
 	if s.conn != nil {
 		s.conn.Close()
 		s.conn = nil
@@ -381,6 +389,7 @@ func (s *closedSession) reconnect() error {
 		s.reconnects++
 		s.epoch = now
 		s.publishLive()
+		sp.End(int64(len(s.pending)), "")
 		return nil
 	}
 }
@@ -476,6 +485,9 @@ func (s *closedSession) popAcked(upTo uint64, at time.Time, sample bool) int {
 			if s.winHist != nil {
 				s.winHist.Add(lat.Seconds())
 			}
+			if s.o.RTTSink != nil {
+				s.o.RTTSink.Observe(lat.Seconds())
+			}
 			if !p.retx {
 				rttSample = lat
 			}
@@ -486,6 +498,9 @@ func (s *closedSession) popAcked(upTo uint64, at time.Time, sample bool) int {
 	}
 	if rttSample >= 0 {
 		s.updateRTT(rttSample)
+		// One span per ACK fold: the duration is the fold's RTT sample
+		// (Karn-filtered), N the transactions it retired.
+		tracez.Record(tracez.StageReplayAck, "", at.Add(-rttSample), rttSample, int64(n), "")
 	}
 	if n > 0 && sample {
 		s.onAckCwnd(n, at)

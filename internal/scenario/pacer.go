@@ -6,6 +6,8 @@ import (
 	"time"
 
 	"cptgpt/internal/events"
+	"cptgpt/internal/telemetry"
+	"cptgpt/internal/tracez"
 )
 
 // EventSource is the consumer-side contract of a scenario event sequence:
@@ -55,6 +57,13 @@ type Pacer struct {
 	events  atomic.Int64
 	lag     atomic.Int64 // nanoseconds behind schedule at the last release
 	stopped atomic.Bool
+
+	// Distribution sinks (see SetHistograms) and achieved-rate window
+	// accounting. winStart/winN belong to the single consumer goroutine.
+	lagHist  *telemetry.Histogram
+	rateHist *telemetry.Histogram
+	winStart time.Time
+	winN     int64
 }
 
 // NewPacer wraps src with wall-clock pacing under ctx. A nil ctx means
@@ -69,6 +78,49 @@ func NewPacer(ctx context.Context, src EventSource, compression float64) *Pacer 
 	return &Pacer{src: src, ctx: ctx, compression: compression}
 }
 
+// SetHistograms attaches distribution sinks: lag receives the release lag
+// in seconds for every paced release (0 when on schedule), rate receives
+// the achieved events/s of every ~1s wall window. Either may be nil. Call
+// before the first Next; the daemon points these at its per-run
+// cptserved_pacer_lag_seconds / cptserved_pacer_window_rate series.
+func (p *Pacer) SetHistograms(lag, rate *telemetry.Histogram) {
+	p.lagHist = lag
+	p.rateHist = rate
+}
+
+// windowTick advances the achieved-rate window accounting by one released
+// event and flushes the window once it spans ≥ 1s of wall time.
+func (p *Pacer) windowTick(now time.Time) {
+	if p.winStart.IsZero() {
+		p.winStart = now
+	}
+	p.winN++
+	if el := now.Sub(p.winStart); el >= time.Second {
+		if p.rateHist != nil {
+			p.rateHist.Observe(float64(p.winN) / el.Seconds())
+		}
+		tracez.Record(tracez.StagePacerWindow, "", p.winStart, el, p.winN, "")
+		p.winStart = now
+		p.winN = 0
+	}
+}
+
+// flushWindow emits the final partial achieved-rate window at end of
+// stream, so even a sub-second run records one window observation.
+func (p *Pacer) flushWindow() {
+	if p.winStart.IsZero() || p.winN == 0 {
+		return
+	}
+	el := time.Since(p.winStart)
+	if el > 0 {
+		if p.rateHist != nil {
+			p.rateHist.Observe(float64(p.winN) / el.Seconds())
+		}
+		tracez.Record(tracez.StagePacerWindow, "", p.winStart, el, p.winN, "")
+	}
+	p.winN = 0
+}
+
 // Next releases the source's next event at its paced wall time.
 func (p *Pacer) Next() (Event, bool) {
 	if p.done {
@@ -77,13 +129,18 @@ func (p *Pacer) Next() (Event, bool) {
 	if p.ctx.Err() != nil {
 		p.done = true
 		p.stopped.Store(true)
+		p.flushWindow()
 		return Event{}, false
 	}
 	e, ok := p.src.Next()
 	if !ok {
 		p.done = true
+		p.flushWindow()
 		return Event{}, false
 	}
+	// Achieved-rate windows need a wall clock per event; skip entirely
+	// unless something is listening (one atomic load when tracing is off).
+	trackWin := p.rateHist != nil || tracez.Enabled()
 	if p.compression > 0 {
 		now := time.Now()
 		if !p.started {
@@ -94,6 +151,10 @@ func (p *Pacer) Next() (Event, bool) {
 		target := p.start.Add(time.Duration((e.Time - p.t0) / p.compression * float64(time.Second)))
 		if wait := target.Sub(now); wait > 0 {
 			p.lag.Store(0)
+			if p.lagHist != nil {
+				p.lagHist.Observe(0)
+			}
+			waitSp := tracez.Begin(tracez.StagePacerWait, "")
 			if p.timer == nil {
 				p.timer = time.NewTimer(wait)
 			} else {
@@ -108,10 +169,22 @@ func (p *Pacer) Next() (Event, bool) {
 				// Release the in-flight event immediately; the next call
 				// observes the cancellation and ends the stream.
 			}
+			waitSp.End(1, "")
+			if trackWin {
+				p.windowTick(time.Now())
+			}
 		} else {
 			// Behind schedule: release immediately and record the deficit.
 			p.lag.Store(int64(-wait))
+			if p.lagHist != nil {
+				p.lagHist.Observe((-wait).Seconds())
+			}
+			if trackWin {
+				p.windowTick(now)
+			}
 		}
+	} else if trackWin {
+		p.windowTick(time.Now())
 	}
 	p.events.Add(1)
 	return e, true

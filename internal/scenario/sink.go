@@ -11,6 +11,7 @@ import (
 	"cptgpt/internal/events"
 	"cptgpt/internal/mcn"
 	"cptgpt/internal/replaynet"
+	"cptgpt/internal/tracez"
 )
 
 // Summary aggregates a drained scenario stream in O(1) memory.
@@ -33,7 +34,9 @@ const summaryWindow = 60.0
 // Drain consumes the source to exhaustion, returning its summary — the
 // "count" sink. It is also the cheapest way to force a full scenario run.
 func Drain(st EventSource) (Summary, error) {
+	sp := tracez.Begin(tracez.StageScenarioSink, "")
 	var sum Summary
+	defer func() { sp.End(int64(sum.Events), "count") }()
 	var winStart float64
 	winCount := 0
 	first := true
@@ -84,9 +87,11 @@ type eventLine struct {
 // output arrives in time order across UEs, so per-UE grouping would require
 // unbounded buffering). Returns the event count.
 func WriteJSONL(w io.Writer, st EventSource) (int, error) {
+	sp := tracez.Begin(tracez.StageScenarioSink, "")
 	bw := bufio.NewWriter(w)
 	enc := json.NewEncoder(bw)
 	n := 0
+	defer func() { sp.End(int64(n), "jsonl") }()
 	for {
 		e, ok := st.Next()
 		if !ok {
@@ -110,12 +115,14 @@ func WriteJSONL(w io.Writer, st EventSource) (int, error) {
 // columns (ue_id,device_type,timestamp,event_type), one event per row in
 // time order. Returns the event count.
 func WriteCSV(w io.Writer, st EventSource) (int, error) {
+	sp := tracez.Begin(tracez.StageScenarioSink, "")
 	cw := csv.NewWriter(w)
 	if err := cw.Write([]string{"ue_id", "device_type", "timestamp", "event_type"}); err != nil {
 		return 0, fmt.Errorf("scenario: writing CSV header: %w", err)
 	}
 	row := make([]string, 4)
 	n := 0
+	defer func() { sp.End(int64(n), "csv") }()
 	for {
 		e, ok := st.Next()
 		if !ok {
@@ -152,7 +159,14 @@ func (a mcnAdapter) NextArrival() (mcn.Arrival, bool, error) {
 // function — the scenario engine's flagship sink. Memory stays bounded by
 // the MCN's per-UE state, never by the event count.
 func RunMCN(st EventSource, cfg mcn.Config) (*mcn.Report, error) {
-	return mcn.RunStream(st.Generation(), mcnAdapter{st}, cfg)
+	sp := tracez.Begin(tracez.StageScenarioSink, "")
+	rep, err := mcn.RunStream(st.Generation(), mcnAdapter{st}, cfg)
+	if rep != nil {
+		sp.End(int64(rep.Events), "mcn")
+	} else {
+		sp.End(0, "mcn")
+	}
+	return rep, err
 }
 
 // replayAdapter presents an EventSource as a replaynet.EventSource.
@@ -169,7 +183,10 @@ func (a replayAdapter) NextReplayEvent() (replaynet.ReplayEvent, bool, error) {
 // ReplayTCP drains the stream onto a replaynet server — the networked MCN
 // load-test sink.
 func ReplayTCP(addr string, st EventSource, opts replaynet.ReplayOpts) (replaynet.Stats, error) {
-	return replaynet.ReplayStream(addr, st.Generation(), replayAdapter{st}, opts)
+	sp := tracez.Begin(tracez.StageScenarioSink, "")
+	stats, err := replaynet.ReplayStream(addr, st.Generation(), replayAdapter{st}, opts)
+	sp.End(int64(stats.Events), "replay")
+	return stats, err
 }
 
 // ReplayClosed drains the stream onto a replaynet server in closed loop:
@@ -177,7 +194,10 @@ func ReplayTCP(addr string, st EventSource, opts replaynet.ReplayOpts) (replayne
 // governed by a CUBIC-style window and delivery is exactly-once across
 // connection failures. The congestion-controlled counterpart of ReplayTCP.
 func ReplayClosed(addr string, st EventSource, opts replaynet.ClosedOpts) (replaynet.ClosedStats, error) {
-	return replaynet.ReplayClosed(addr, st.Generation(), replayAdapter{st}, opts)
+	sp := tracez.Begin(tracez.StageScenarioSink, "")
+	stats, err := replaynet.ReplayClosed(addr, st.Generation(), replayAdapter{st}, opts)
+	sp.End(stats.Acked, "replay-closed")
+	return stats, err
 }
 
 // ReplaySLOSearch drives the stream against a replaynet server with the

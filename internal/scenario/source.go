@@ -8,6 +8,7 @@ import (
 	"cptgpt/internal/cptgpt"
 	"cptgpt/internal/events"
 	"cptgpt/internal/synthetic"
+	"cptgpt/internal/telemetry"
 	"cptgpt/internal/trace"
 )
 
@@ -164,6 +165,10 @@ func resolveSources(spec *Spec, opts RunOpts, total int) ([]boundSource, error) 
 			if opts.SourceStats != nil {
 				stats = opts.SourceStats(src.ID)
 			}
+			var stepHist *telemetry.Histogram
+			if opts.SourceStepHist != nil {
+				stepHist = opts.SourceStepHist(src.ID)
+			}
 			genOpts := cptgpt.GenOpts{
 				Device:      dev,
 				Seed:        sourceSeed(spec, i),
@@ -173,6 +178,7 @@ func resolveSources(spec *Spec, opts RunOpts, total int) ([]boundSource, error) 
 				Speculative: speculative,
 				DraftTokens: draftK,
 				Stats:       stats,
+				StepHist:    stepHist,
 				// Spread stream starts over the horizon; ramp ops can
 				// re-stage populations on top of this.
 				StartWindow: spec.HorizonSec,

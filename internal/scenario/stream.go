@@ -15,8 +15,10 @@ import (
 
 	"cptgpt/internal/cptgpt"
 	"cptgpt/internal/events"
+	"cptgpt/internal/telemetry"
 	"cptgpt/internal/tensor"
 	"cptgpt/internal/trace"
+	"cptgpt/internal/tracez"
 )
 
 // Event is one element of a scenario's merged, time-ordered event sequence:
@@ -103,6 +105,12 @@ type RunOpts struct {
 	// daemon can watch per-source decode stats (slot utilization, draft
 	// acceptance) while the generation phase is still running.
 	SourceStats func(sourceID string) *cptgpt.DecodeStats
+	// SourceStepHist, when non-nil, supplies a lock-free decode-step
+	// duration histogram for each cptgpt source (keyed by source ID;
+	// return nil to skip one). Every BatchDecoder.Step/StepK the source
+	// performs observes its wall duration there — the distribution behind
+	// a daemon's cptserved_decode_step_seconds series.
+	SourceStepHist func(sourceID string) *telemetry.Histogram
 }
 
 // DefaultPopulation is the UE count used when neither the spec nor the run
@@ -248,6 +256,21 @@ type Stream struct {
 	dir    string
 	err    error
 	closed bool
+
+	// The stream's lifetime is the final lazy k-way merge; its span covers
+	// first pull to exhaustion (or Close, for partially consumed streams).
+	mergeSp tracez.Active
+	mergeK  int
+	merged  int64
+}
+
+// endMergeSpan records the stream's merge span once; safe to call from
+// both the exhaustion path and Close.
+func (st *Stream) endMergeSpan() {
+	if st.mergeSp.Live() {
+		st.mergeSp.End(st.merged, fmt.Sprintf("k=%d", st.mergeK))
+		st.mergeSp = tracez.Active{}
+	}
 }
 
 // Generation returns the scenario's technology generation.
@@ -287,7 +310,13 @@ func (st *Stream) Next() (e Event, ok bool) {
 		if cerr := r.close(); cerr != nil && st.err == nil {
 			st.err = cerr
 		}
+		if len(st.h) == 0 && st.err == nil {
+			st.merged++
+			st.endMergeSpan()
+			return e, true
+		}
 	}
+	st.merged++
 	return e, true
 }
 
@@ -301,6 +330,7 @@ func (st *Stream) Close() error {
 		return nil
 	}
 	st.closed = true
+	st.endMergeSpan()
 	for _, r := range st.h {
 		r.close()
 	}
@@ -418,6 +448,8 @@ func (spec *Spec) OpenContext(ctx context.Context, opts RunOpts) (st *Stream, er
 		st.Close()
 		return nil, err
 	}
+	st.mergeSp = tracez.Begin(tracez.StageScenarioMerge, "")
+	st.mergeK = len(runs)
 	return st, nil
 }
 
@@ -482,7 +514,9 @@ func spillChunks(ctx context.Context, spec *Spec, sources []boundSource, jobs []
 				}
 				job := jobs[ji]
 				src := &sources[job.src]
+				srcSp := tracez.Begin(tracez.StageScenarioSource, "")
 				streams, err := src.chunk(job.lo, job.hi)
+				srcSp.End(int64(len(streams)), src.id)
 				if err != nil {
 					errs[w] = fmt.Errorf("scenario: source %q chunk [%d,%d): %w", src.id, job.lo, job.hi, err)
 					continue
@@ -494,6 +528,7 @@ func spillChunks(ctx context.Context, spec *Spec, sources []boundSource, jobs []
 						src.id, job.lo, job.hi, len(streams), job.hi-job.lo)
 					continue
 				}
+				opsSp := tracez.Begin(tracez.StageScenarioOps, "")
 				evs = evs[:0]
 				for i := range streams {
 					s := &streams[i]
@@ -506,14 +541,17 @@ func spillChunks(ctx context.Context, spec *Spec, sources []boundSource, jobs []
 						})
 					}
 				}
+				opsSp.End(int64(len(evs)), src.id)
 				if len(evs) == 0 {
 					continue
 				}
+				spillSp := tracez.Begin(tracez.StageScenarioSpill, "")
 				sortEvents(evs)
 				if err := writeRun(job.out, evs); err != nil {
 					errs[w] = err
 					continue
 				}
+				spillSp.End(int64(len(evs)), src.id)
 				nonEmpty[ji] = true
 			}
 		}(w)
@@ -577,6 +615,8 @@ func reduceRuns(ctx context.Context, runs []string, fanIn int, dir string) ([]st
 
 // mergeRunFiles k-way merges sorted run files into one sorted run.
 func mergeRunFiles(paths []string, out string) error {
+	sp := tracez.Begin(tracez.StageScenarioMerge, "")
+	var merged int64
 	h, err := openRunHeap(paths)
 	if err != nil {
 		return err
@@ -584,6 +624,9 @@ func mergeRunFiles(paths []string, out string) error {
 	defer func() {
 		for _, r := range h {
 			r.close()
+		}
+		if sp.Live() {
+			sp.End(merged, fmt.Sprintf("k=%d", len(paths)))
 		}
 	}()
 
@@ -595,6 +638,7 @@ func mergeRunFiles(paths []string, out string) error {
 	var rec [recordSize]byte
 	for len(h) > 0 {
 		r := h[0]
+		merged++
 		encodeRecord(rec[:], r.cur)
 		if _, err := bw.Write(rec[:]); err != nil {
 			f.Close()

@@ -13,10 +13,13 @@ import (
 	"time"
 
 	"cptgpt/internal/cptgpt"
+	"cptgpt/internal/logz"
 	"cptgpt/internal/mcn"
 	"cptgpt/internal/replaynet"
 	"cptgpt/internal/scenario"
+	"cptgpt/internal/telemetry"
 	"cptgpt/internal/tensor"
+	"cptgpt/internal/tracez"
 )
 
 // Run states. A run is born generating (the spill phase of the scenario
@@ -183,6 +186,18 @@ type run struct {
 	// run start; stats() reports deltas against it.
 	poolBase tensor.PoolLoadStats
 
+	// log receives lifecycle events (nil = silent). Set before the run
+	// goroutine launches, never mutated after.
+	log *logz.Logger
+	// Per-run distribution series, created by registerRunMetrics before the
+	// run goroutine launches (the go statement orders the writes) and fed by
+	// execute's pipeline wiring. stepHists is keyed by cptgpt source id.
+	pacerLagHist  *telemetry.Histogram
+	pacerRateHist *telemetry.Histogram
+	mcnLatHist    *telemetry.Histogram
+	replayRTTHist *telemetry.Histogram
+	stepHists     map[string]*telemetry.Histogram
+
 	mu         sync.Mutex
 	state      string
 	startedAt  time.Time
@@ -198,22 +213,36 @@ type run struct {
 
 // setState transitions the run's lifecycle state.
 func (r *run) setState(state string) {
+	now := time.Now()
 	r.mu.Lock()
-	defer r.mu.Unlock()
 	r.state = state
 	if state == StateStreaming {
-		r.streamAt = time.Now()
+		r.streamAt = now
 	}
+	r.mu.Unlock()
+	tracez.Record(tracez.StageRunState, r.id, now, 0, 0, state)
+	r.log.Infow("run state", "run", r.id, "state", state)
 }
 
 // finish records the terminal state, error and sink result.
 func (r *run) finish(state string, err error, result map[string]any) {
+	now := time.Now()
 	r.mu.Lock()
-	defer r.mu.Unlock()
 	r.state = state
 	r.err = err
 	r.result = result
-	r.finishedAt = time.Now()
+	r.finishedAt = now
+	wall := now.Sub(r.startedAt)
+	events := r.events()
+	r.mu.Unlock()
+	tracez.Record(tracez.StageRunState, r.id, now, 0, events, state)
+	if err != nil {
+		r.log.Errorw("run finished", "run", r.id, "state", state,
+			"events", events, "wall", wall, "err", err)
+	} else {
+		r.log.Infow("run finished", "run", r.id, "state", state,
+			"events", events, "wall", wall)
+	}
 }
 
 // info snapshots the run as wire-form RunInfo.
@@ -348,7 +377,9 @@ func (r *run) stats() RunStats {
 // lifecycle goroutine body: generating → streaming → terminal state, with
 // a context cancellation draining cleanly at either phase.
 func (r *run) execute(ctx context.Context, mcnCfg mcn.Config) {
+	genSp := tracez.Begin(tracez.StageRunGenerate, r.id)
 	st, err := r.spec.OpenContext(ctx, r.opts)
+	genSp.End(0, r.scenarioName)
 	if err != nil {
 		if errors.Is(err, context.Canceled) {
 			r.finish(StateStopped, nil, nil)
@@ -360,8 +391,16 @@ func (r *run) execute(ctx context.Context, mcnCfg mcn.Config) {
 	defer st.Close()
 
 	pacer := scenario.NewPacer(ctx, st, r.compression)
+	pacer.SetHistograms(r.pacerLagHist, r.pacerRateHist)
 	r.pacer.Store(pacer)
 	r.setState(StateStreaming)
+
+	streamSp := tracez.Begin(tracez.StageRunStream, r.id)
+	defer func() {
+		if streamSp.Live() {
+			streamSp.End(r.events(), r.sink)
+		}
+	}()
 
 	var result map[string]any
 	switch r.sink {
@@ -378,6 +417,7 @@ func (r *run) execute(ctx context.Context, mcnCfg mcn.Config) {
 		}
 	case "mcn":
 		mcnCfg.Live = r.mcnLive
+		mcnCfg.LatencySink = r.mcnLatHist
 		var rep *mcn.Report
 		if rep, err = scenario.RunMCN(pacer, mcnCfg); err == nil {
 			result = map[string]any{
@@ -404,7 +444,7 @@ func (r *run) execute(ctx context.Context, mcnCfg mcn.Config) {
 		// server-side session always ends on a frame boundary.
 		if r.closedLoop {
 			var cst replaynet.ClosedStats
-			if cst, err = scenario.ReplayClosed(r.addr, pacer, replaynet.ClosedOpts{Live: r.replayLive}); err == nil {
+			if cst, err = scenario.ReplayClosed(r.addr, pacer, replaynet.ClosedOpts{Live: r.replayLive, RTTSink: r.replayRTTHist}); err == nil {
 				result = map[string]any{
 					"events":          cst.Server.Events,
 					"rejected":        cst.Server.Rejected,

@@ -12,6 +12,8 @@
 //	DELETE /runs/{id}       stop a run (clean drain)
 //	GET    /metrics         Prometheus text exposition
 //	GET    /healthz         liveness
+//	GET    /debug/trace     flight-recorder spans + per-stage aggregates
+//	GET    /debug/pprof/*   Go profiler endpoints (opt-in via Options)
 //
 // Concurrency contract: a Server is safe for concurrent use by any number
 // of HTTP clients. Each run executes on its own goroutine; its event
@@ -30,16 +32,19 @@ import (
 	"fmt"
 	"net"
 	"net/http"
+	"net/http/pprof"
 	"path/filepath"
 	"sync"
 	"time"
 
 	"cptgpt/internal/cptgpt"
+	"cptgpt/internal/logz"
 	"cptgpt/internal/mcn"
 	"cptgpt/internal/replaynet"
 	"cptgpt/internal/scenario"
 	"cptgpt/internal/telemetry"
 	"cptgpt/internal/tensor"
+	"cptgpt/internal/tracez"
 )
 
 // DefaultMaxFinishedRuns is the number of terminal runs retained (with
@@ -57,6 +62,12 @@ type Options struct {
 	MaxFinishedRuns int
 	// MCN configures the mcn sink; zero value means mcn.DefaultConfig().
 	MCN mcn.Config
+	// Log receives the daemon's structured lifecycle events (nil = silent).
+	Log *logz.Logger
+	// EnablePprof mounts net/http/pprof under /debug/pprof/ on the
+	// management mux. Off by default: the profiler exposes goroutine dumps
+	// and should only face operators.
+	EnablePprof bool
 }
 
 // Server owns the model cache, the run registry and the telemetry
@@ -65,6 +76,7 @@ type Server struct {
 	opts  Options
 	mcn   mcn.Config
 	reg   *telemetry.Registry
+	log   *logz.Logger
 	start time.Time
 
 	runsStarted *telemetry.Counter
@@ -91,10 +103,15 @@ func New(opts Options) *Server {
 		opts:   opts,
 		mcn:    cfg,
 		reg:    telemetry.NewRegistry(),
+		log:    opts.Log,
 		start:  time.Now(),
 		models: make(map[string]*cptgpt.Model),
 		runs:   make(map[string]*run),
 	}
+	// The daemon always flies with the recorder on: the ring is fixed-size
+	// and span recording is a few atomics, so there is no reason to make
+	// operators opt in before the incident they need it for.
+	tracez.Enable()
 	s.reg.GaugeFunc("cptserved_uptime_seconds",
 		"Seconds since the daemon started.",
 		func() float64 { return time.Since(s.start).Seconds() })
@@ -141,10 +158,13 @@ func (s *Server) loadModel(path string) (*cptgpt.Model, error) {
 	// Load outside the lock: model files can be large and two concurrent
 	// first-loads of the same file are harmless (last write wins, both
 	// models are equivalent).
+	t0 := time.Now()
 	m, err := cptgpt.LoadFile(path)
 	if err != nil {
+		s.log.Warnw("model load failed", "path", path, "err", err)
 		return nil, err
 	}
+	s.log.Infow("model loaded", "path", path, "dur", time.Since(t0))
 	s.mu.Lock()
 	s.models[abs] = m
 	s.mu.Unlock()
@@ -170,6 +190,14 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, _ *http.Request) {
 		writeJSON(w, http.StatusOK, map[string]any{"ok": true, "uptime_seconds": time.Since(s.start).Seconds()})
 	})
+	mux.Handle("GET /debug/trace", tracez.Handler())
+	if s.opts.EnablePprof {
+		mux.HandleFunc("GET /debug/pprof/", pprof.Index)
+		mux.HandleFunc("GET /debug/pprof/cmdline", pprof.Cmdline)
+		mux.HandleFunc("GET /debug/pprof/profile", pprof.Profile)
+		mux.HandleFunc("GET /debug/pprof/symbol", pprof.Symbol)
+		mux.HandleFunc("GET /debug/pprof/trace", pprof.Trace)
+	}
 	return mux
 }
 
@@ -177,19 +205,29 @@ func (s *Server) Handler() http.Handler {
 // rejects new runs. Bounded by ctx: if the drain outlasts it, Close
 // returns ctx.Err() with run goroutines still finishing in the background.
 func (s *Server) Close(ctx context.Context) error {
+	t0 := time.Now()
 	s.mu.Lock()
 	s.shuttingDown = true
+	active := 0
 	for _, r := range s.runs {
+		r.mu.Lock()
+		if !terminal(r.state) {
+			active++
+		}
+		r.mu.Unlock()
 		r.cancel()
 	}
 	s.mu.Unlock()
+	s.log.Infow("daemon closing", "active_runs", active)
 
 	done := make(chan struct{})
 	go func() { s.wg.Wait(); close(done) }()
 	select {
 	case <-done:
+		s.log.Infow("daemon closed", "drain", time.Since(t0))
 		return nil
 	case <-ctx.Done():
+		s.log.Warnw("daemon close timed out with runs still draining", "after", time.Since(t0))
 		return ctx.Err()
 	}
 }
@@ -337,6 +375,9 @@ func (s *Server) handleStart(w http.ResponseWriter, req *http.Request) {
 		DraftTokens: body.DraftTokens,
 		LoadModel:   s.loadModel,
 		SourceStats: func(id string) *cptgpt.DecodeStats { return r.decode[id] },
+		// r.stepHists is populated by registerRunMetrics before the run
+		// goroutine launches, so the closure reads a settled map.
+		SourceStepHist: func(id string) *telemetry.Histogram { return r.stepHists[id] },
 	}
 
 	ctx, cancel := context.WithCancel(context.Background())
@@ -365,6 +406,9 @@ func (s *Server) handleStart(w http.ResponseWriter, req *http.Request) {
 
 	s.runsStarted.Inc()
 	s.registerRunMetrics(r)
+	r.log = s.log
+	s.log.Infow("run started", "run", r.id, "scenario", r.scenarioName,
+		"sink", r.sink, "ues", r.ues, "compression", r.compression)
 
 	go func() {
 		defer s.wg.Done()
@@ -414,10 +458,26 @@ func (s *Server) registerRunMetrics(r *run) {
 	s.reg.GaugeFunc("cptserved_run_pacer_lag_seconds",
 		"How far the run's emission lags its paced schedule.",
 		r.lagSeconds, lbl...)
+	// Distribution series: native histograms fed from the run's hot paths.
+	// They are created here — before the run goroutine launches, so the go
+	// statement's happens-before makes them visible to execute() without
+	// further synchronization.
+	r.pacerLagHist = s.reg.Histogram("cptserved_pacer_lag_seconds",
+		"Distribution of the pacer's schedule deficit at each release.",
+		telemetry.LatencyBuckets, lbl...)
+	r.pacerRateHist = s.reg.Histogram("cptserved_pacer_window_rate",
+		"Distribution of achieved events/s over 1-second pacer windows.",
+		telemetry.RateBuckets, lbl...)
 
 	for id, ds := range r.decode {
 		ds := ds
 		dl := append([]telemetry.Label{telemetry.L("source", id)}, lbl...)
+		if r.stepHists == nil {
+			r.stepHists = make(map[string]*telemetry.Histogram, len(r.decode))
+		}
+		r.stepHists[id] = s.reg.Histogram("cptserved_decode_step_seconds",
+			"Distribution of batched decode step wall time, per cptgpt source.",
+			telemetry.LatencyBuckets, dl...)
 		s.reg.CounterFunc("cptserved_decode_steps_total",
 			"Batched decode steps executed by a cptgpt source.",
 			func() int64 { return ds.Load().Steps }, dl...)
@@ -457,6 +517,9 @@ func (s *Server) registerRunMetrics(r *run) {
 			"MCN event latency (mean refreshes per metering window).",
 			func() float64 { return float64(live.P99LatencyNanos.Load()) / 1e9 },
 			append([]telemetry.Label{telemetry.L("stat", "p99")}, lbl...)...)
+		r.mcnLatHist = s.reg.Histogram("cptserved_mcn_arrival_latency_seconds",
+			"Distribution of per-event MCN serving latency.",
+			telemetry.LatencyBuckets, lbl...)
 	}
 
 	if live := r.replayLive; live != nil {
@@ -478,6 +541,9 @@ func (s *Server) registerRunMetrics(r *run) {
 		s.reg.CounterFunc("cptserved_replay_reconnects_total",
 			"Completed reconnect-and-resume handshakes.",
 			live.Reconnects.Load, lbl...)
+		r.replayRTTHist = s.reg.Histogram("cptserved_replay_rtt_seconds",
+			"Distribution of closed-loop replay send→ACK round-trip times.",
+			telemetry.LatencyBuckets, lbl...)
 	}
 }
 
@@ -527,6 +593,7 @@ func (s *Server) handleStop(w http.ResponseWriter, req *http.Request) {
 		writeErr(w, http.StatusNotFound, errors.New("no such run"))
 		return
 	}
+	s.log.Infow("run stop requested", "run", r.id)
 	r.cancel()
 	select {
 	case <-r.done:

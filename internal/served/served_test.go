@@ -562,3 +562,148 @@ func TestDaemonEviction(t *testing.T) {
 		t.Fatalf("evicted run's metric series survive:\n%s", body)
 	}
 }
+
+// TestDaemonObservability drives a cptgpt-source run and an mcn run, then
+// checks the PR-8 surfaces: /metrics carries native Prometheus histograms
+// (cumulative _bucket/_sum/_count) for the pacer, decode and mcn
+// distributions, and /debug/trace exposes flight-recorder spans covering
+// the scenario pipeline, the batch decoder, the pacer and the run
+// lifecycle.
+func TestDaemonObservability(t *testing.T) {
+	_, ts := newTestServer(t)
+	model := tinyModelFile(t)
+
+	spec := &scenario.Spec{
+		Name: "gpt-obs", Generation: "4G", Seed: 7, HorizonSec: 600, Population: 40,
+		Sources: []scenario.SourceSpec{{ID: "gpt", Kind: "cptgpt", ModelFile: model, Share: 1}},
+	}
+	var info RunInfo
+	do(t, "POST", ts.URL+"/runs", StartRequest{Spec: spec, Sink: "count"}, &info, http.StatusCreated)
+	if final := waitState(t, ts.URL, info.ID); final.State != StateDone {
+		t.Fatalf("cptgpt run ended %s (err %q)", final.State, final.Error)
+	}
+	var mcnInfo RunInfo
+	do(t, "POST", ts.URL+"/runs", StartRequest{Scenario: "flash-crowd", UEs: 200, Sink: "mcn"}, &mcnInfo, http.StatusCreated)
+	if final := waitState(t, ts.URL, mcnInfo.ID); final.State != StateDone {
+		t.Fatalf("mcn run ended %s (err %q)", final.State, final.Error)
+	}
+
+	body := scrapeMetrics(t, ts.URL)
+
+	// Native histogram families present, each with the full bucket ladder.
+	families := map[string]bool{}
+	for _, m := range regexp.MustCompile(`(?m)^([a-z_]+)_bucket\{`).FindAllStringSubmatch(body, -1) {
+		families[m[1]] = true
+	}
+	for _, want := range []string{
+		"cptserved_pacer_lag_seconds",
+		"cptserved_pacer_window_rate",
+		"cptserved_decode_step_seconds",
+		"cptserved_mcn_arrival_latency_seconds",
+	} {
+		if !families[want] {
+			t.Fatalf("metrics missing histogram family %q (have %v)", want, families)
+		}
+	}
+	if len(families) < 4 {
+		t.Fatalf("only %d native histogram families, want >= 4", len(families))
+	}
+
+	// Observations actually land: decode steps, mcn latencies and pacer
+	// windows all have nonzero _count, and every family's +Inf bucket
+	// equals its _count.
+	for series, lbl := range map[string]string{
+		"cptserved_decode_step_seconds":         `{run="` + info.ID + `",scenario="gpt-obs",source="gpt"}`,
+		"cptserved_pacer_window_rate":           `{run="` + info.ID + `",scenario="gpt-obs"}`,
+		"cptserved_mcn_arrival_latency_seconds": `{run="` + mcnInfo.ID + `",scenario="flash-crowd"}`,
+	} {
+		countRe := regexp.MustCompile(regexp.QuoteMeta(series+"_count"+lbl) + ` (\d+)`)
+		m := countRe.FindStringSubmatch(body)
+		if m == nil {
+			t.Fatalf("metrics missing %s_count%s:\n%s", series, lbl, body)
+		}
+		if m[1] == "0" {
+			t.Fatalf("%s%s has zero observations", series, lbl)
+		}
+		infLine := series + "_bucket" + lbl[:len(lbl)-1] + `,le="+Inf"} ` + m[1]
+		if !strings.Contains(body, infLine) {
+			t.Fatalf("metrics missing matching +Inf bucket %q", infLine)
+		}
+	}
+
+	// The flight recorder covers every pipeline layer.
+	resp, err := http.Get(ts.URL + "/debug/trace")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var trace struct {
+		Enabled bool `json:"enabled"`
+		Stages  []struct {
+			Stage string `json:"stage"`
+			Count int64  `json:"count"`
+		} `json:"stages"`
+		Spans []struct {
+			Stage string `json:"stage"`
+			Dur   int64  `json:"dur_nanos"`
+		} `json:"spans"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&trace); err != nil {
+		t.Fatalf("decode /debug/trace: %v", err)
+	}
+	if !trace.Enabled {
+		t.Fatal("daemon's flight recorder reports disabled")
+	}
+	if len(trace.Spans) == 0 {
+		t.Fatal("/debug/trace has no spans")
+	}
+	have := map[string]int64{}
+	for _, st := range trace.Stages {
+		have[st.Stage] = st.Count
+	}
+	for _, want := range []string{
+		"scenario.source", "scenario.spill", "scenario.merge", "scenario.sink",
+		"decode.step", "pacer.window",
+		"run.generate", "run.stream", "run.state",
+	} {
+		if have[want] == 0 {
+			t.Fatalf("/debug/trace missing stage %q (have %v)", want, have)
+		}
+	}
+	// Two runs, two streaming transitions + two terminal states minimum.
+	if have["run.state"] < 4 {
+		t.Fatalf("run.state count = %d, want >= 4", have["run.state"])
+	}
+}
+
+// TestDaemonPprofOptIn checks the profiler stays unmounted by default and
+// mounts under /debug/pprof/ when Options.EnablePprof is set.
+func TestDaemonPprofOptIn(t *testing.T) {
+	s, ts := newTestServer(t)
+	_ = s
+	resp, err := http.Get(ts.URL + "/debug/pprof/")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusNotFound {
+		t.Fatalf("pprof mounted without opt-in: %d", resp.StatusCode)
+	}
+
+	sp := New(Options{TempDir: t.TempDir(), EnablePprof: true})
+	tsp := httptest.NewServer(sp.Handler())
+	defer tsp.Close()
+	defer func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		defer cancel()
+		sp.Close(ctx)
+	}()
+	resp, err = http.Get(tsp.URL + "/debug/pprof/")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("pprof index = %d with EnablePprof", resp.StatusCode)
+	}
+}

@@ -1,0 +1,39 @@
+// External test package: mcn imports telemetry, so the equivalence test
+// between telemetry.Histogram and mcn.LatencyHist must live outside the
+// telemetry package to avoid an import cycle.
+package telemetry_test
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"cptgpt/internal/mcn"
+	"cptgpt/internal/telemetry"
+)
+
+// TestHistogramMatchesLatencyHist pins the contract behind the PR-8 rebase:
+// mcn.LatencyHist and telemetry.Histogram share one bucket scheme, so their
+// quantiles agree exactly and their means agree to float accumulation order.
+func TestHistogramMatchesLatencyHist(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	lh := mcn.NewLatencyHist()
+	th := telemetry.NewHistogram(telemetry.LatencyBuckets)
+	for i := 0; i < 50_000; i++ {
+		// Log-uniform over the interesting range plus under/overflow tails.
+		v := math.Pow(10, -6+11*rng.Float64())
+		lh.Add(v)
+		th.Observe(v)
+	}
+	if int64(lh.Count()) != th.Count() {
+		t.Fatalf("Count: LatencyHist %d, Histogram %d", lh.Count(), th.Count())
+	}
+	for _, q := range []float64{0, 0.01, 0.1, 0.25, 0.5, 0.75, 0.9, 0.95, 0.99, 0.999, 1} {
+		if l, h := lh.Quantile(q), th.Quantile(q); l != h {
+			t.Fatalf("Quantile(%v): LatencyHist %v, Histogram %v", q, l, h)
+		}
+	}
+	if l, h := lh.Mean(), th.Mean(); math.Abs(l-h) > 1e-9*math.Abs(l) {
+		t.Fatalf("Mean: LatencyHist %v, Histogram %v", l, h)
+	}
+}

@@ -5,14 +5,15 @@
 // without taking a lock, and an HTTP handler can render every live run as a
 // Prometheus-style text page while those loops keep running.
 //
-// Concurrency contract: Counter.Add/Inc and Gauge.Set are lock-free
-// (one atomic add / store) and safe from any number of goroutines;
-// reads (Load, Snapshot, WritePrometheus) are atomic per instrument and
-// never block writers. Registration (Counter/Gauge/CounterFunc/GaugeFunc)
-// and Drop take the registry mutex and belong on setup/teardown paths, not
-// hot paths; registering the same (name, labels) twice returns the same
-// instrument. Func-backed series are read at render time, so their
-// callbacks must themselves be safe for concurrent use (read atomics).
+// Concurrency contract: Counter.Add/Inc, Gauge.Set and Histogram.Observe
+// are lock-free (atomic adds / stores) and safe from any number of
+// goroutines; reads (Load, Snapshot, WritePrometheus) are atomic per
+// instrument and never block writers. Registration
+// (Counter/Gauge/Histogram/CounterFunc/GaugeFunc) and Drop take the
+// registry mutex and belong on setup/teardown paths, not hot paths;
+// registering the same (name, labels) twice returns the same instrument.
+// Func-backed series are read at render time, so their callbacks must
+// themselves be safe for concurrent use (read atomics).
 //
 // Determinism contract: WritePrometheus renders metrics sorted by name and
 // then by label signature, so two snapshots of the same state are
@@ -60,27 +61,33 @@ type Label struct{ Key, Value string }
 // L builds a Label.
 func L(key, value string) Label { return Label{Key: key, Value: value} }
 
-// kind discriminates counter and gauge metrics.
+// kind discriminates counter, gauge and histogram metrics.
 type kind uint8
 
 const (
 	kindCounter kind = iota
 	kindGauge
+	kindHistogram
 )
 
 func (k kind) String() string {
-	if k == kindCounter {
+	switch k {
+	case kindCounter:
 		return "counter"
+	case kindHistogram:
+		return "histogram"
+	default:
+		return "gauge"
 	}
-	return "gauge"
 }
 
 // series is one labeled instance of a metric: either an owned instrument
-// (counter/gauge) or a func-backed read-through.
+// (counter/gauge/histogram) or a func-backed read-through.
 type series struct {
 	labelSig string // rendered {k="v",...} signature, "" when unlabeled
 	counter  *Counter
 	gauge    *Gauge
+	hist     *Histogram
 	fn       func() float64
 }
 
@@ -254,13 +261,21 @@ type SampleValue struct {
 }
 
 // Snapshot returns every series' current value, sorted by (name, labels) —
-// the JSON-friendly counterpart of WritePrometheus.
+// the JSON-friendly counterpart of WritePrometheus. Histogram series
+// contribute their `_count` and `_sum` aggregates (the full bucket vector
+// only renders on the Prometheus page).
 func (r *Registry) Snapshot() []SampleValue {
 	r.mu.RLock()
 	defer r.mu.RUnlock()
 	var out []SampleValue
 	for _, m := range r.metrics {
 		for _, s := range m.series {
+			if s.hist != nil {
+				out = append(out,
+					SampleValue{Name: m.name + "_count", Labels: s.labelSig, Value: float64(s.hist.Count())},
+					SampleValue{Name: m.name + "_sum", Labels: s.labelSig, Value: s.hist.Sum()})
+				continue
+			}
 			out = append(out, SampleValue{Name: m.name, Labels: s.labelSig, Value: s.value()})
 		}
 	}
@@ -297,6 +312,13 @@ func (r *Registry) WritePrometheus(w io.Writer) error {
 		for _, sig := range sigs {
 			s := m.series[sig]
 			var err error
+			if s.hist != nil {
+				if err = s.hist.writePrometheus(w, m.name, sig); err != nil {
+					r.mu.RUnlock()
+					return err
+				}
+				continue
+			}
 			if v := s.value(); m.kind == kindCounter && v == math.Trunc(v) {
 				_, err = fmt.Fprintf(w, "%s%s %d\n", m.name, sig, int64(v))
 			} else {

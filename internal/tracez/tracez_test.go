@@ -1,0 +1,197 @@
+package tracez
+
+import (
+	"encoding/json"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+// withRecorder runs f with a fresh enabled recorder and restores the
+// disabled default afterwards, so tests don't leak spans into each other.
+func withRecorder(t *testing.T, f func()) {
+	t.Helper()
+	Reset()
+	Enable()
+	defer func() {
+		Disable()
+		Reset()
+	}()
+	f()
+}
+
+func TestDisabledIsInert(t *testing.T) {
+	Disable()
+	Reset()
+	sp := Begin(StageDecodeStep, "r1")
+	if sp.Live() {
+		t.Fatal("Begin returned a live token while disabled")
+	}
+	sp.End(10, "attr")
+	Record(StageReplayAck, "r1", time.Now(), time.Millisecond, 1, "")
+	if got := Snapshot(0); len(got) != 0 {
+		t.Fatalf("disabled recorder captured %d spans", len(got))
+	}
+	if got := Stages(); len(got) != 0 {
+		t.Fatalf("disabled recorder aggregated %d stages", len(got))
+	}
+}
+
+func TestBeginEndRecords(t *testing.T) {
+	withRecorder(t, func() {
+		sp := Begin(StageScenarioSpill, "run-1")
+		if !sp.Live() {
+			t.Fatal("enabled Begin returned an inert token")
+		}
+		sp.End(42, "src-a")
+		Record(StageReplayAck, "run-1", time.Now().Add(-time.Second), 250*time.Millisecond, 3, "")
+
+		spans := Snapshot(0)
+		if len(spans) != 2 {
+			t.Fatalf("got %d spans, want 2", len(spans))
+		}
+		// Oldest first.
+		if spans[0].Stage != StageScenarioSpill || spans[1].Stage != StageReplayAck {
+			t.Fatalf("span order/stages wrong: %+v", spans)
+		}
+		if spans[0].Run != "run-1" || spans[0].N != 42 || spans[0].Attr != "src-a" {
+			t.Fatalf("span fields wrong: %+v", spans[0])
+		}
+		if spans[1].Dur != int64(250*time.Millisecond) {
+			t.Fatalf("externally-timed span dur = %d", spans[1].Dur)
+		}
+
+		sts := Stages()
+		if len(sts) != 2 {
+			t.Fatalf("got %d stages, want 2", len(sts))
+		}
+		// Sorted by name: replay.ack < scenario.spill.
+		if sts[0].Stage != StageReplayAck || sts[1].Stage != StageScenarioSpill {
+			t.Fatalf("stage order wrong: %+v", sts)
+		}
+		ack := sts[0]
+		if ack.Count != 1 || ack.Items != 3 {
+			t.Fatalf("ack aggregate wrong: %+v", ack)
+		}
+		if ack.TotalSec < 0.24 || ack.TotalSec > 0.26 || ack.MaxSec != ack.TotalSec {
+			t.Fatalf("ack timing wrong: %+v", ack)
+		}
+		if ack.P95Sec < 0.2 || ack.P95Sec > 0.3 {
+			t.Fatalf("ack p95 %v outside the 250ms bucket", ack.P95Sec)
+		}
+	})
+}
+
+func TestRingWrap(t *testing.T) {
+	withRecorder(t, func() {
+		SetCapacity(64) // the minimum
+		defer SetCapacity(DefaultCapacity)
+		for i := 0; i < 200; i++ {
+			Record(StagePacerWait, "", time.Now(), time.Duration(i), int64(i), "")
+		}
+		spans := Snapshot(0)
+		if len(spans) != 64 {
+			t.Fatalf("snapshot has %d spans, want ring capacity 64", len(spans))
+		}
+		// The ring keeps the newest 64 (N = 136..199), oldest first.
+		for i, sp := range spans {
+			if want := int64(136 + i); sp.N != want {
+				t.Fatalf("span %d has N=%d, want %d", i, sp.N, want)
+			}
+		}
+		// But the aggregates saw every span.
+		for _, st := range Stages() {
+			if st.Stage == StagePacerWait && st.Count != 200 {
+				t.Fatalf("aggregate count = %d, want 200", st.Count)
+			}
+		}
+		// Snapshot(max) trims to the most recent max.
+		if got := Snapshot(10); len(got) != 10 || got[9].N != 199 {
+			t.Fatalf("Snapshot(10) = %d spans ending N=%d", len(got), got[len(got)-1].N)
+		}
+	})
+}
+
+func TestConcurrentRecording(t *testing.T) {
+	withRecorder(t, func() {
+		const goroutines, per = 8, 500
+		var wg sync.WaitGroup
+		for g := 0; g < goroutines; g++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				for i := 0; i < per; i++ {
+					sp := Begin(StageDecodeStep, "")
+					sp.End(1, "")
+				}
+			}()
+		}
+		// Concurrent readers must never see torn spans.
+		for i := 0; i < 50; i++ {
+			for _, sp := range Snapshot(100) {
+				if sp.Stage != StageDecodeStep {
+					t.Errorf("torn/foreign span: %+v", sp)
+				}
+			}
+			Stages()
+		}
+		wg.Wait()
+		for _, st := range Stages() {
+			if st.Stage == StageDecodeStep {
+				if st.Count != goroutines*per || st.Items != goroutines*per {
+					t.Fatalf("aggregate lost spans: %+v", st)
+				}
+				return
+			}
+		}
+		t.Fatal("decode.step aggregate missing")
+	})
+}
+
+func TestHandler(t *testing.T) {
+	withRecorder(t, func() {
+		for i := 0; i < 10; i++ {
+			Record(StageScenarioMerge, "run-9", time.Now(), time.Millisecond, 100, "k=4")
+		}
+		rec := httptest.NewRecorder()
+		Handler().ServeHTTP(rec, httptest.NewRequest("GET", "/debug/trace?n=5", nil))
+		if rec.Code != 200 {
+			t.Fatalf("status %d", rec.Code)
+		}
+		var resp struct {
+			Enabled  bool         `json:"enabled"`
+			Capacity int          `json:"capacity"`
+			Stages   []StageStats `json:"stages"`
+			Spans    []Span       `json:"spans"`
+		}
+		if err := json.Unmarshal(rec.Body.Bytes(), &resp); err != nil {
+			t.Fatalf("bad JSON: %v\n%s", err, rec.Body.String())
+		}
+		if !resp.Enabled || resp.Capacity != DefaultCapacity {
+			t.Fatalf("header fields wrong: %+v", resp)
+		}
+		if len(resp.Spans) != 5 {
+			t.Fatalf("?n=5 returned %d spans", len(resp.Spans))
+		}
+		if len(resp.Stages) != 1 || resp.Stages[0].Stage != StageScenarioMerge || resp.Stages[0].Count != 10 {
+			t.Fatalf("stages wrong: %+v", resp.Stages)
+		}
+	})
+}
+
+func TestSummary(t *testing.T) {
+	withRecorder(t, func() {
+		if got := Summary(); got != "tracez: no spans recorded\n" {
+			t.Fatalf("empty summary = %q", got)
+		}
+		Record(StagePacerWindow, "", time.Now(), time.Second, 1000, "")
+		got := Summary()
+		for _, want := range []string{"stage", "pacer.window", "1000"} {
+			if !strings.Contains(got, want) {
+				t.Fatalf("summary missing %q:\n%s", want, got)
+			}
+		}
+	})
+}
