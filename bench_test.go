@@ -13,6 +13,7 @@ package cptgen
 import (
 	"bytes"
 	"os"
+	"path/filepath"
 	"sync"
 	"testing"
 
@@ -22,6 +23,7 @@ import (
 	"cptgpt/internal/mcn"
 	"cptgpt/internal/metrics"
 	"cptgpt/internal/replaynet"
+	"cptgpt/internal/runlog"
 	"cptgpt/internal/scenario"
 	"cptgpt/internal/smm"
 	"cptgpt/internal/stats"
@@ -701,5 +703,30 @@ func BenchmarkTelemetryHistogramObserve(b *testing.B) {
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		h.Observe(float64(i%1000) * 1e-6)
+	}
+}
+
+// BenchmarkRunlogAppend measures one checkpoint append to the write-ahead
+// run journal under the default interval fsync policy: JSON encode, CRC,
+// frame header and a buffered write. This is the per-checkpoint tax every
+// durable run pays, so it must stay deep in sub-microsecond territory.
+func BenchmarkRunlogAppend(b *testing.B) {
+	j, err := runlog.Create(filepath.Join(b.TempDir(), "bench"+runlog.Ext),
+		runlog.Options{Policy: runlog.PolicyInterval})
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer j.Close()
+	j.AppendBegin(runlog.Begin{RunID: "run-1", Scenario: "flash-crowd", Sink: "jsonl", UEs: 1000})
+	c := runlog.Checkpoint{
+		Time: 123.456789, UE: 982451653, Seq: 31,
+		Events: 1 << 20, TraceOffset: 123.456789,
+		SinkBytes: 1 << 27, SinkLines: 1 << 20,
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		c.Events++
+		j.AppendCheckpoint(c)
 	}
 }

@@ -8,10 +8,15 @@
 //
 //	cptserved [-addr 127.0.0.1:8080] [-preload model.cptgpt]... \
 //	          [-tmp DIR] [-parallelism N] [-keep N] \
+//	          [-journal-dir DIR] [-fsync interval] [-recover resume] \
+//	          [-ckpt-events N] [-ckpt-interval D] \
 //	          [-log-level info] [-pprof]
 //
 // SIGINT/SIGTERM stop every run with a clean drain (sinks flush their
-// last released event) before the process exits.
+// last released event) before the process exits. With -journal-dir set,
+// runs are durable: a crashed daemon restarted with -recover=resume picks
+// interrupted runs back up from their last checkpoint (see
+// docs/OPERATIONS.md, "Crash recovery").
 package main
 
 import (
@@ -26,6 +31,7 @@ import (
 
 	"cptgpt/internal/logz"
 	"cptgpt/internal/mcn"
+	"cptgpt/internal/runlog"
 	"cptgpt/internal/served"
 )
 
@@ -37,6 +43,12 @@ func main() {
 	drain := flag.Duration("drain", 30*time.Second, "graceful-shutdown drain budget")
 	logLevel := flag.String("log-level", "info", "log verbosity: debug|info|warn|error|off")
 	enablePprof := flag.Bool("pprof", false, "mount net/http/pprof under /debug/pprof/")
+	journalDir := flag.String("journal-dir", "", "write-ahead run journal directory (empty = durable runs off)")
+	fsyncPolicy := flag.String("fsync", "interval", "journal durability policy: always|interval|off")
+	fsyncInterval := flag.Duration("fsync-interval", 0, "journal flush/fsync cadence for -fsync interval|off (0 = default)")
+	recoverMode := flag.String("recover", "resume", "disposition of interrupted journals at startup: resume|fail|ignore")
+	ckptEvents := flag.Int("ckpt-events", 0, "events between journal checkpoints (0 = default)")
+	ckptInterval := flag.Duration("ckpt-interval", 0, "wall-time bound between journal checkpoints (0 = default)")
 	var preload []string
 	flag.Func("preload", "model file to load at startup (repeatable)", func(p string) error {
 		preload = append(preload, p)
@@ -53,20 +65,38 @@ func main() {
 		os.Exit(2)
 	}
 	logger := logz.New(os.Stderr, lvl)
+	policy, err := runlog.ParsePolicy(*fsyncPolicy)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "cptserved: %v\n", err)
+		os.Exit(2)
+	}
 
 	s := served.New(served.Options{
-		TempDir:         *tmp,
-		Parallelism:     *parallelism,
-		MaxFinishedRuns: *keep,
-		MCN:             mcn.DefaultConfig(),
-		Log:             logger,
-		EnablePprof:     *enablePprof,
+		TempDir:            *tmp,
+		Parallelism:        *parallelism,
+		MaxFinishedRuns:    *keep,
+		MCN:                mcn.DefaultConfig(),
+		Log:                logger,
+		EnablePprof:        *enablePprof,
+		JournalDir:         *journalDir,
+		Fsync:              policy,
+		FsyncInterval:      *fsyncInterval,
+		Recover:            *recoverMode,
+		CheckpointEvents:   *ckptEvents,
+		CheckpointInterval: *ckptInterval,
 	})
 	for _, p := range preload {
 		if err := s.PreloadModel(p); err != nil {
 			logger.Errorw("preload failed", "path", p, "err", err)
 			os.Exit(1)
 		}
+	}
+	// Recovery runs after preloads (resumed cptgpt runs hit a warm cache)
+	// and before the listener opens, so clients never observe a half-
+	// recovered registry.
+	if err := s.Recover(); err != nil {
+		logger.Errorw("journal recovery failed", "err", err)
+		os.Exit(1)
 	}
 
 	srv := &http.Server{Addr: *addr, Handler: s.Handler()}

@@ -54,6 +54,12 @@ type LiveStats struct {
 	Acked       atomic.Int64
 	Retransmits atomic.Int64
 	Reconnects  atomic.Int64
+	// AckedSeq is the highest sequence number the server has contiguously
+	// applied — absolute across resumed incarnations of the same session
+	// (it starts at ClosedOpts.ResumeFrom, not 0). This is the exact value
+	// a durable checkpoint can record: every event with seq ≤ AckedSeq is
+	// applied server-side, nothing beyond it is.
+	AckedSeq atomic.Uint64
 }
 
 // ClosedOpts tunes a closed-loop replay run. The zero value is usable:
@@ -68,6 +74,16 @@ type ClosedOpts struct {
 	// SessionID keys the server-side resume state. 0 derives a fresh ID
 	// from the wall clock; pass an explicit ID for reproducible tests.
 	SessionID uint64
+	// ResumeFrom resumes a crashed incarnation of this session: it is the
+	// highest sequence number the previous incarnation knew the server had
+	// applied, and the source must deliver the event stream from sequence
+	// ResumeFrom+1 on. At the handshake the server reports its actual
+	// applied sequence A ≥ ResumeFrom; the first A−ResumeFrom source
+	// events are already applied server-side and are skipped without
+	// sending, so delivery stays exactly-once across the crash. If the
+	// server reports A < ResumeFrom its session state is gone (server
+	// restart) and the replay fails fast rather than double-applying.
+	ResumeFrom uint64
 	// InitialCwnd is the slow-start entry window (events); default 4.
 	InitialCwnd float64
 	// MaxCwnd caps the window; default 4096.
@@ -239,6 +255,7 @@ func (s *closedSession) publishLive() {
 	l.Acked.Store(s.acked)
 	l.Retransmits.Store(s.retx)
 	l.Reconnects.Store(s.reconnects)
+	l.AckedSeq.Store(s.ackedSeq)
 }
 
 // startReader spawns the per-connection ACK/REPORT reader. It never blocks
@@ -550,8 +567,14 @@ func runClosed(addr string, gen events.Generation, src EventSource, o ClosedOpts
 		hist:      mcn.NewLatencyHist(),
 		winHist:   winHist,
 		start:     time.Now(),
+		// A resumed incarnation continues the session's absolute sequence
+		// space: the next send is ResumeFrom+1 (0 for a fresh session).
+		nextSeq:  o.ResumeFrom,
+		ackedSeq: o.ResumeFrom,
 	}
-	if _, err := s.connect(); err != nil {
+	s.lastAck.Store(o.ResumeFrom)
+	applied, err := s.connect()
+	if err != nil {
 		return ClosedStats{}, fmt.Errorf("replaynet: dial %s: %w", addr, err)
 	}
 	defer func() {
@@ -559,6 +582,32 @@ func runClosed(addr string, gen events.Generation, src EventSource, o ClosedOpts
 			s.conn.Close()
 		}
 	}()
+	if o.ResumeFrom > 0 {
+		if applied < o.ResumeFrom {
+			return ClosedStats{}, fmt.Errorf(
+				"replaynet: session %d resume: server applied %d < checkpointed %d (server session state lost); restart the run instead",
+				o.SessionID, applied, o.ResumeFrom)
+		}
+		// Events in (ResumeFrom, applied] were applied server-side but
+		// acked after the previous incarnation's last checkpoint: consume
+		// them from the source without sending (no pacing, no stats), so
+		// the wire resumes exactly at applied+1.
+		for skip := applied - o.ResumeFrom; skip > 0; skip-- {
+			ev, ok, err := src.NextReplayEvent()
+			if err != nil {
+				return ClosedStats{}, fmt.Errorf("replaynet: event source during resume skip: %w", err)
+			}
+			if !ok {
+				break
+			}
+			if _, seen := s.ueIdx[ev.UE]; !seen {
+				s.ueIdx[ev.UE] = uint32(len(s.ueIdx))
+			}
+			s.nextSeq++
+		}
+		s.ackedSeq = s.nextSeq
+		s.lastAck.Store(s.nextSeq)
+	}
 	s.publishLive()
 
 	var (

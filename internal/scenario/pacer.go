@@ -48,11 +48,13 @@ type Pacer struct {
 	ctx         context.Context
 	compression float64
 
-	started bool
-	start   time.Time
-	t0      float64
-	timer   *time.Timer
-	done    bool
+	started  bool
+	start    time.Time
+	t0       float64
+	resumeT0 float64
+	resumed  bool
+	timer    *time.Timer
+	done     bool
 
 	events  atomic.Int64
 	lag     atomic.Int64 // nanoseconds behind schedule at the last release
@@ -76,6 +78,17 @@ func NewPacer(ctx context.Context, src EventSource, compression float64) *Pacer 
 		compression = 0
 	}
 	return &Pacer{src: src, ctx: ctx, compression: compression}
+}
+
+// ResumeAt anchors the pacer's trace-time origin at t0 instead of the
+// first event's timestamp. A resumed run passes its checkpointed trace
+// offset here so the suffix plays at the schedule the uninterrupted run
+// would have followed from that point (the wall origin is still the first
+// release — recovery downtime is not replayed as lag). Call before the
+// first Next.
+func (p *Pacer) ResumeAt(t0 float64) {
+	p.resumeT0 = t0
+	p.resumed = true
 }
 
 // SetHistograms attaches distribution sinks: lag receives the release lag
@@ -146,7 +159,11 @@ func (p *Pacer) Next() (Event, bool) {
 		if !p.started {
 			p.started = true
 			p.start = now
-			p.t0 = e.Time
+			if p.resumed {
+				p.t0 = p.resumeT0
+			} else {
+				p.t0 = e.Time
+			}
 		}
 		target := p.start.Add(time.Duration((e.Time - p.t0) / p.compression * float64(time.Second)))
 		if wait := target.Sub(now); wait > 0 {

@@ -82,66 +82,115 @@ type eventLine struct {
 	Type   string  `json:"event_type"`
 }
 
+// LineWriter encodes scenario events one at a time in the jsonl or csv
+// interchange format, exposing the encoder's flush boundary: after Flush,
+// every event passed to Write has fully reached the underlying writer.
+// WriteJSONL and WriteCSV are built on it; so is the daemon's journaled
+// file sink, which must align durable checkpoints (sink byte cursor ↔
+// event count) with event boundaries.
+type LineWriter struct {
+	ueid func(Event) string
+	bw   *bufio.Writer // jsonl path
+	enc  *json.Encoder
+	cw   *csv.Writer // csv path (owns its own buffering)
+	row  []string
+	n    int
+}
+
+// NewLineWriter builds a per-event encoder for format "jsonl" or "csv",
+// rendering UE identifiers through ueid. For CSV, header selects whether
+// the column header is emitted first — a resumed sink already has one on
+// disk; jsonl ignores it.
+func NewLineWriter(w io.Writer, format string, ueid func(Event) string, header bool) (*LineWriter, error) {
+	lw := &LineWriter{ueid: ueid}
+	switch format {
+	case "jsonl":
+		lw.bw = bufio.NewWriter(w)
+		lw.enc = json.NewEncoder(lw.bw)
+	case "csv":
+		lw.cw = csv.NewWriter(w)
+		lw.row = make([]string, 4)
+		if header {
+			if err := lw.cw.Write([]string{"ue_id", "device_type", "timestamp", "event_type"}); err != nil {
+				return nil, fmt.Errorf("scenario: writing CSV header: %w", err)
+			}
+		}
+	default:
+		return nil, fmt.Errorf("scenario: unknown line format %q (want jsonl or csv)", format)
+	}
+	return lw, nil
+}
+
+// Write encodes one event.
+func (lw *LineWriter) Write(e Event) error {
+	if lw.enc != nil {
+		if err := lw.enc.Encode(eventLine{
+			Time: e.Time, UEID: lw.ueid(e),
+			Device: e.Device.String(), Type: e.Type.String(),
+		}); err != nil {
+			return fmt.Errorf("scenario: writing event %d: %w", lw.n, err)
+		}
+	} else {
+		lw.row[0] = lw.ueid(e)
+		lw.row[1] = e.Device.String()
+		lw.row[2] = strconv.FormatFloat(e.Time, 'f', -1, 64)
+		lw.row[3] = e.Type.String()
+		if err := lw.cw.Write(lw.row); err != nil {
+			return fmt.Errorf("scenario: writing CSV row %d: %w", lw.n, err)
+		}
+	}
+	lw.n++
+	return nil
+}
+
+// Flush pushes every written event through to the underlying writer.
+func (lw *LineWriter) Flush() error {
+	if lw.bw != nil {
+		return lw.bw.Flush()
+	}
+	lw.cw.Flush()
+	return lw.cw.Error()
+}
+
+// Count returns the number of events written.
+func (lw *LineWriter) Count() int { return lw.n }
+
 // WriteJSONL drains the stream to w as one JSON object per event (the
 // event-interleaved counterpart of the per-stream trace format: scenario
 // output arrives in time order across UEs, so per-UE grouping would require
 // unbounded buffering). Returns the event count.
 func WriteJSONL(w io.Writer, st EventSource) (int, error) {
-	sp := tracez.Begin(tracez.StageScenarioSink, "")
-	bw := bufio.NewWriter(w)
-	enc := json.NewEncoder(bw)
-	n := 0
-	defer func() { sp.End(int64(n), "jsonl") }()
-	for {
-		e, ok := st.Next()
-		if !ok {
-			break
-		}
-		if err := enc.Encode(eventLine{
-			Time: e.Time, UEID: st.UEID(e),
-			Device: e.Device.String(), Type: e.Type.String(),
-		}); err != nil {
-			return n, fmt.Errorf("scenario: writing event %d: %w", n, err)
-		}
-		n++
-	}
-	if err := st.Err(); err != nil {
-		return n, err
-	}
-	return n, bw.Flush()
+	return writeLines(w, st, "jsonl")
 }
 
 // WriteCSV drains the stream to w as CSV rows with the trace interchange
 // columns (ue_id,device_type,timestamp,event_type), one event per row in
 // time order. Returns the event count.
 func WriteCSV(w io.Writer, st EventSource) (int, error) {
+	return writeLines(w, st, "csv")
+}
+
+func writeLines(w io.Writer, st EventSource, format string) (int, error) {
 	sp := tracez.Begin(tracez.StageScenarioSink, "")
-	cw := csv.NewWriter(w)
-	if err := cw.Write([]string{"ue_id", "device_type", "timestamp", "event_type"}); err != nil {
-		return 0, fmt.Errorf("scenario: writing CSV header: %w", err)
+	lw, err := NewLineWriter(w, format, st.UEID, true)
+	if err != nil {
+		sp.End(0, format)
+		return 0, err
 	}
-	row := make([]string, 4)
-	n := 0
-	defer func() { sp.End(int64(n), "csv") }()
+	defer func() { sp.End(int64(lw.n), format) }()
 	for {
 		e, ok := st.Next()
 		if !ok {
 			break
 		}
-		row[0] = st.UEID(e)
-		row[1] = e.Device.String()
-		row[2] = strconv.FormatFloat(e.Time, 'f', -1, 64)
-		row[3] = e.Type.String()
-		if err := cw.Write(row); err != nil {
-			return n, fmt.Errorf("scenario: writing CSV row %d: %w", n, err)
+		if err := lw.Write(e); err != nil {
+			return lw.n, err
 		}
-		n++
 	}
 	if err := st.Err(); err != nil {
-		return n, err
+		return lw.n, err
 	}
-	cw.Flush()
-	return n, cw.Error()
+	return lw.n, lw.Flush()
 }
 
 // mcnAdapter presents an EventSource as an mcn.ArrivalSource.

@@ -10,8 +10,10 @@ import (
 	"math"
 	"os"
 	"path/filepath"
+	"runtime/debug"
 	"sort"
 	"sync"
+	"sync/atomic"
 
 	"cptgpt/internal/cptgpt"
 	"cptgpt/internal/events"
@@ -111,6 +113,13 @@ type RunOpts struct {
 	// performs observes its wall duration there — the distribution behind
 	// a daemon's cptserved_decode_step_seconds series.
 	SourceStepHist func(sourceID string) *telemetry.Histogram
+	// ResumeAfter fast-forwards the run past a checkpointed merge key:
+	// every event ≤ (Time, UE, Seq) is regenerated (the pipeline is
+	// deterministic, so regeneration is bit-identical) but pruned at the
+	// spill stage, and the returned Stream emits exactly the suffix the
+	// original run would have emitted after that key. Stream.Skipped
+	// reports how many events were pruned. Nil runs from the beginning.
+	ResumeAfter *Event
 }
 
 // DefaultPopulation is the UE count used when neither the spec nor the run
@@ -249,13 +258,14 @@ func (h *mergeHeap) Pop() interface{} {
 // time-ordered sequence of control-plane events pulled incrementally by a
 // sink. Close releases the spill directory.
 type Stream struct {
-	gen    events.Generation
-	srcIDs []string
-	total  int // UEs across sources
-	h      mergeHeap
-	dir    string
-	err    error
-	closed bool
+	gen     events.Generation
+	srcIDs  []string
+	total   int // UEs across sources
+	h       mergeHeap
+	dir     string
+	err     error
+	closed  bool
+	skipped int64 // events pruned by RunOpts.ResumeAfter
 
 	// The stream's lifetime is the final lazy k-way merge; its span covers
 	// first pull to exhaustion (or Close, for partially consumed streams).
@@ -278,6 +288,10 @@ func (st *Stream) Generation() events.Generation { return st.gen }
 
 // UEs returns the total UE population backing the stream.
 func (st *Stream) UEs() int { return st.total }
+
+// Skipped reports how many regenerated events RunOpts.ResumeAfter pruned
+// before the stream's first emitted event (0 for a from-scratch run).
+func (st *Stream) Skipped() int64 { return st.skipped }
 
 // UEID renders an event's UE key as a readable identifier,
 // "<source-id>-<stream-index>".
@@ -430,7 +444,7 @@ func (spec *Spec) OpenContext(ctx context.Context, opts RunOpts) (st *Stream, er
 	}
 
 	// Phase 2: generate, transform, sort, spill — fanned over workers.
-	runs, err := spillChunks(ctx, spec, sources, jobs, opts)
+	runs, skipped, err := spillChunks(ctx, spec, sources, jobs, opts)
 	if err != nil {
 		return nil, err
 	}
@@ -440,7 +454,7 @@ func (spec *Spec) OpenContext(ctx context.Context, opts RunOpts) (st *Stream, er
 		return nil, err
 	}
 
-	st = &Stream{gen: gen, dir: dir, total: total}
+	st = &Stream{gen: gen, dir: dir, total: total, skipped: skipped}
 	for i := range sources {
 		st.srcIDs = append(st.srcIDs, sources[i].id)
 	}
@@ -487,9 +501,10 @@ func openRunHeap(paths []string) (mergeHeap, error) {
 }
 
 // spillChunks runs the generation phase and returns the produced run paths
-// in deterministic job order (empty chunks are skipped). A context
-// cancellation stops dispatching jobs and surfaces as ctx's error.
-func spillChunks(ctx context.Context, spec *Spec, sources []boundSource, jobs []chunkJob, opts RunOpts) ([]string, error) {
+// in deterministic job order (empty chunks are skipped) plus the number of
+// events pruned by RunOpts.ResumeAfter. A context cancellation stops
+// dispatching jobs and surfaces as ctx's error.
+func spillChunks(ctx context.Context, spec *Spec, sources []boundSource, jobs []chunkJob, opts RunOpts) ([]string, int64, error) {
 	horizon := spec.HorizonSec
 	workers := opts.workers()
 	if workers > len(jobs) {
@@ -500,6 +515,7 @@ func spillChunks(ctx context.Context, spec *Spec, sources []boundSource, jobs []
 	}
 	nonEmpty := make([]bool, len(jobs))
 	errs := make([]error, workers)
+	var skipped atomic.Int64
 	jobCh := make(chan int)
 	var wg sync.WaitGroup
 	for w := 0; w < workers; w++ {
@@ -508,10 +524,16 @@ func spillChunks(ctx context.Context, spec *Spec, sources []boundSource, jobs []
 			defer wg.Done()
 			var evs []Event
 			var scratch []trace.Event
-			for ji := range jobCh {
-				if errs[w] != nil || ctx.Err() != nil {
-					continue // drain after failure or cancellation
-				}
+			// One job, isolated: a panicking source or operator must not
+			// take down the process (a daemon runs many scenarios) — it
+			// fails this run, and the worker keeps draining the job channel
+			// so the dispatcher never blocks on dead workers.
+			runJob := func(ji int) {
+				defer func() {
+					if p := recover(); p != nil {
+						errs[w] = fmt.Errorf("scenario: panic in generation worker: %v\n%s", p, debug.Stack())
+					}
+				}()
 				job := jobs[ji]
 				src := &sources[job.src]
 				srcSp := tracez.Begin(tracez.StageScenarioSource, "")
@@ -519,14 +541,14 @@ func spillChunks(ctx context.Context, spec *Spec, sources []boundSource, jobs []
 				srcSp.End(int64(len(streams)), src.id)
 				if err != nil {
 					errs[w] = fmt.Errorf("scenario: source %q chunk [%d,%d): %w", src.id, job.lo, job.hi, err)
-					continue
+					return
 				}
 				if len(streams) != job.hi-job.lo {
 					// A mis-sized chunk would silently corrupt UE keys
 					// (stream i's key is job.lo+i).
 					errs[w] = fmt.Errorf("scenario: source %q chunk [%d,%d) returned %d streams, want %d",
 						src.id, job.lo, job.hi, len(streams), job.hi-job.lo)
-					continue
+					return
 				}
 				opsSp := tracez.Begin(tracez.StageScenarioOps, "")
 				evs = evs[:0]
@@ -543,16 +565,37 @@ func spillChunks(ctx context.Context, spec *Spec, sources []boundSource, jobs []
 				}
 				opsSp.End(int64(len(evs)), src.id)
 				if len(evs) == 0 {
-					continue
+					return
 				}
 				spillSp := tracez.Begin(tracez.StageScenarioSpill, "")
 				sortEvents(evs)
-				if err := writeRun(job.out, evs); err != nil {
-					errs[w] = err
-					continue
+				out := evs
+				if resume := opts.ResumeAfter; resume != nil {
+					// Fast-forward: prune the regenerated prefix ≤ the
+					// checkpointed key. The chunk is sorted in the merge's
+					// total order, so the prefix is a binary search away.
+					cut := sort.Search(len(out), func(i int) bool { return resume.less(out[i]) })
+					if cut > 0 {
+						skipped.Add(int64(cut))
+						out = out[cut:]
+					}
+					if len(out) == 0 {
+						spillSp.End(0, src.id)
+						return
+					}
 				}
-				spillSp.End(int64(len(evs)), src.id)
+				if err := writeRun(job.out, out); err != nil {
+					errs[w] = err
+					return
+				}
+				spillSp.End(int64(len(out)), src.id)
 				nonEmpty[ji] = true
+			}
+			for ji := range jobCh {
+				if errs[w] != nil || ctx.Err() != nil {
+					continue // drain after failure or cancellation
+				}
+				runJob(ji)
 			}
 		}(w)
 	}
@@ -565,11 +608,11 @@ func spillChunks(ctx context.Context, spec *Spec, sources []boundSource, jobs []
 	close(jobCh)
 	wg.Wait()
 	if err := ctx.Err(); err != nil {
-		return nil, err
+		return nil, 0, err
 	}
 	for _, err := range errs {
 		if err != nil {
-			return nil, err
+			return nil, 0, err
 		}
 	}
 	var runs []string
@@ -578,7 +621,7 @@ func spillChunks(ctx context.Context, spec *Spec, sources []boundSource, jobs []
 			runs = append(runs, jobs[ji].out)
 		}
 	}
-	return runs, nil
+	return runs, skipped.Load(), nil
 }
 
 // sortEvents sorts by the merge's total order.

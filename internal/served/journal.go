@@ -1,0 +1,252 @@
+package served
+
+import (
+	"encoding/json"
+	"errors"
+	"io"
+	"os"
+	"path/filepath"
+	"sync/atomic"
+	"syscall"
+	"time"
+
+	"cptgpt/internal/runlog"
+	"cptgpt/internal/scenario"
+)
+
+// Journal checkpoint cadence defaults: a checkpoint lands at least every
+// CheckpointEvents released events, and (tested every 16 events so the
+// hot path stays clock-free) after CheckpointInterval of wall time.
+const (
+	DefaultCheckpointEvents   = 4096
+	DefaultCheckpointInterval = time.Second
+)
+
+// openJournal attaches a write-ahead journal to a newly accepted run.
+// Journaling is best-effort by design: any failure here (unwritable
+// directory, full disk) logs a warning and leaves the run unjournaled
+// rather than failing the start — durability degrades, traffic
+// generation does not.
+func (s *Server) openJournal(r *run) {
+	if err := os.MkdirAll(s.opts.JournalDir, 0o755); err != nil {
+		s.log.Warnw("run journal unavailable", "run", r.id, "err", err)
+		return
+	}
+	spec, err := json.Marshal(r.spec)
+	if err != nil {
+		s.log.Warnw("run journal unavailable", "run", r.id, "err", err)
+		return
+	}
+	path := filepath.Join(s.opts.JournalDir, r.id+runlog.Ext)
+	j, err := runlog.Create(path, s.journalOpts(r.id))
+	if err != nil {
+		s.log.Warnw("run journal unavailable", "run", r.id, "err", err)
+		return
+	}
+	j.AppendBegin(runlog.Begin{
+		RunID: r.id, Scenario: r.scenarioName, Spec: spec,
+		Sink: r.sink, Out: r.out, Addr: r.addr, ClosedLoop: r.closedLoop,
+		UEs: r.ues, Compression: r.compression,
+		Precision: r.opts.Precision, Speculative: r.opts.Speculative,
+		DraftTokens: r.opts.DraftTokens,
+		Parallelism: r.opts.Parallelism, BatchSize: r.opts.BatchSize,
+		SessionID: r.sessionID, StartedAt: r.startedAt,
+	})
+	// The write-ahead contract: the run's identity record is durable
+	// before the run does any work.
+	j.Sync()
+	r.journal = j
+	r.jpath = path
+}
+
+// journalOpts is the shared runlog configuration: every journal feeds the
+// same metrics block (behind the cptserved_journal_* series) and logs its
+// own degradation.
+func (s *Server) journalOpts(runID string) runlog.Options {
+	return runlog.Options{
+		Policy:   s.opts.Fsync,
+		Interval: s.opts.FsyncInterval,
+		Metrics:  &s.journalM,
+		OnError: func(err error) {
+			s.log.Warnw("run journal degraded to memory-only", "run", runID, "err", err)
+		},
+	}
+}
+
+// removeJournal deletes the run's journal file. Called when the run's
+// history leaves the daemon (DELETE drain, retention eviction): a run the
+// operator discarded must not resurrect at the next startup.
+func (r *run) removeJournal() {
+	if r.jpath != "" {
+		os.Remove(r.jpath)
+	}
+}
+
+// ckptTap interposes between the pacer and the sink, appending a journal
+// checkpoint at the run's cadence. A checkpoint names the merge key of
+// the newest event the sink durably holds, so recovery can fast-forward
+// the regenerated stream past it and replay only the lost tail.
+type ckptTap struct {
+	scenario.EventSource
+	j        *runlog.Journal
+	base     int64 // events released by previous incarnations
+	every    int64
+	interval time.Duration
+
+	// syncSink, when set (file sinks), makes the sink's durable cursor
+	// part of each checkpoint: it must flush the sink to stable storage
+	// and fill the cursor fields, returning false to skip this checkpoint
+	// (the invariant "a checkpoint implies a durable sink prefix" beats
+	// checkpoint freshness).
+	syncSink func(*runlog.Checkpoint) bool
+
+	// acked, when set (closed-loop replay), is the driver's contiguously
+	// applied absolute sequence: checkpoints cover the newest
+	// server-acknowledged event rather than the newest released one, and
+	// pending queues released-but-unacknowledged events until a
+	// checkpoint can cover them.
+	acked   *atomic.Uint64
+	seqBase uint64 // absolute sequence already applied before this incarnation
+	pending []scenario.Event
+	pendSeq uint64 // absolute sequence of pending[0]
+
+	n     int64 // events released this incarnation
+	lastN int64
+	lastT time.Time
+	prev  scenario.Event
+}
+
+// newCkptTap wires a tap for the run. For sync sinks the caller must set
+// syncSink before the first Next.
+func newCkptTap(src scenario.EventSource, r *run) *ckptTap {
+	t := &ckptTap{
+		EventSource: src,
+		j:           r.journal,
+		base:        r.baseEvents,
+		every:       r.ckptEvery,
+		interval:    r.ckptInterval,
+		lastT:       time.Now(),
+	}
+	if r.sink == "replay" && r.closedLoop {
+		t.acked = &r.replayLive.AckedSeq
+		t.seqBase = r.replayResumeFrom
+	}
+	return t
+}
+
+// Next releases the source's next event, checkpointing first when the
+// cadence is due — so a checkpoint only ever covers events the sink has
+// fully consumed (the sink finished writing event k before the single
+// consumer pulls event k+1).
+func (t *ckptTap) Next() (scenario.Event, bool) {
+	e, ok := t.EventSource.Next()
+	if !ok {
+		if t.n > 0 {
+			t.checkpoint()
+		}
+		return e, ok
+	}
+	if t.n > 0 && t.due() {
+		t.checkpoint()
+	}
+	t.n++
+	t.prev = e
+	if t.acked != nil {
+		if len(t.pending) == 0 {
+			t.pendSeq = t.seqBase + uint64(t.n)
+		}
+		t.pending = append(t.pending, e)
+	}
+	return e, true
+}
+
+func (t *ckptTap) due() bool {
+	if t.n-t.lastN >= t.every {
+		return true
+	}
+	return t.n&15 == 0 && time.Since(t.lastT) >= t.interval
+}
+
+func (t *ckptTap) checkpoint() {
+	var c runlog.Checkpoint
+	if t.acked != nil {
+		a := t.acked.Load()
+		if len(t.pending) == 0 || a < t.pendSeq {
+			return // nothing newly acknowledged since the last cover
+		}
+		drop := a - t.pendSeq + 1
+		if drop > uint64(len(t.pending)) {
+			drop = uint64(len(t.pending))
+		}
+		key := t.pending[drop-1]
+		t.pending = t.pending[drop:]
+		t.pendSeq += drop
+		applied := int64(t.pendSeq - 1)
+		c = runlog.Checkpoint{
+			Time: key.Time, UE: key.UE, Seq: key.Seq,
+			Events: applied, TraceOffset: key.Time,
+			ReplayApplied: applied,
+		}
+	} else {
+		c = runlog.Checkpoint{
+			Time: t.prev.Time, UE: t.prev.UE, Seq: t.prev.Seq,
+			Events: t.base + t.n, TraceOffset: t.prev.Time,
+		}
+		if t.syncSink != nil && !t.syncSink(&c) {
+			return
+		}
+	}
+	t.j.AppendCheckpoint(c)
+	t.lastN = t.n
+	t.lastT = time.Now()
+}
+
+// Sink write-retry policy (satellite of the durability story): a
+// transient filesystem hiccup costs a counted retry with doubling
+// backoff, not a failed run. Permanent errors surface unchanged.
+const (
+	sinkRetryAttempts = 5
+	sinkRetryBackoff  = time.Millisecond
+)
+
+// transientWriteErr reports whether a sink write error is worth retrying:
+// an interrupted or would-block syscall, or a short write.
+func transientWriteErr(err error) bool {
+	return errors.Is(err, syscall.EINTR) || errors.Is(err, syscall.EAGAIN) || errors.Is(err, io.ErrShortWrite)
+}
+
+// retryWriter absorbs transient write errors with bounded exponential
+// backoff, resuming partial writes at the delivered offset and counting
+// each retry into the run's stats.
+type retryWriter struct {
+	w       io.Writer
+	retries *atomic.Int64
+}
+
+func (rw *retryWriter) Write(p []byte) (int, error) {
+	n, err := rw.w.Write(p)
+	backoff := sinkRetryBackoff
+	for attempt := 0; err != nil && transientWriteErr(err) && attempt < sinkRetryAttempts; attempt++ {
+		rw.retries.Add(1)
+		time.Sleep(backoff)
+		backoff *= 2
+		var m int
+		m, err = rw.w.Write(p[n:])
+		n += m
+	}
+	return n, err
+}
+
+// countingWriter tracks the absolute sink byte offset — seeded with the
+// resumed durable prefix length on recovery, so checkpoints always carry
+// whole-file cursors.
+type countingWriter struct {
+	w io.Writer
+	n int64
+}
+
+func (cw *countingWriter) Write(p []byte) (int, error) {
+	n, err := cw.w.Write(p)
+	cw.n += int64(n)
+	return n, err
+}

@@ -16,6 +16,7 @@ import (
 	"cptgpt/internal/logz"
 	"cptgpt/internal/mcn"
 	"cptgpt/internal/replaynet"
+	"cptgpt/internal/runlog"
 	"cptgpt/internal/scenario"
 	"cptgpt/internal/telemetry"
 	"cptgpt/internal/tensor"
@@ -26,9 +27,12 @@ import (
 // pipeline), moves to streaming once its merged event stream is open and
 // the pacer starts releasing events, and ends in exactly one of done
 // (source exhausted), stopped (operator cancellation drained cleanly) or
-// failed (pipeline or sink error).
+// failed (pipeline or sink error). A run resumed from its journal after a
+// daemon crash is born recovering instead — the regeneration phase that
+// fast-forwards to the checkpoint — and then moves to streaming.
 const (
 	StateGenerating = "generating"
+	StateRecovering = "recovering"
 	StateStreaming  = "streaming"
 	StateDone       = "done"
 	StateStopped    = "stopped"
@@ -146,14 +150,17 @@ type RunStats struct {
 	WallSeconds float64 `json:"wall_seconds"`
 	// EventsPerSec is the cumulative streaming-phase rate; RecentPerSec is
 	// the rate since the previous stats scrape (0 on the first scrape).
-	EventsPerSec    float64                `json:"events_per_sec"`
-	RecentPerSec    float64                `json:"recent_events_per_sec"`
-	Compression     float64                `json:"compression"`
-	PacerLagSeconds float64                `json:"pacer_lag_seconds"`
-	Sources         map[string]SourceStats `json:"sources,omitempty"`
-	MCN             *MCNStats              `json:"mcn,omitempty"`
-	Replay          *ReplayStats           `json:"replay,omitempty"`
-	Pool            *PoolStats             `json:"pool,omitempty"`
+	EventsPerSec    float64 `json:"events_per_sec"`
+	RecentPerSec    float64 `json:"recent_events_per_sec"`
+	Compression     float64 `json:"compression"`
+	PacerLagSeconds float64 `json:"pacer_lag_seconds"`
+	// SinkRetries counts transient sink write errors absorbed by the
+	// bounded-backoff retry layer.
+	SinkRetries int64                  `json:"sink_retries,omitempty"`
+	Sources     map[string]SourceStats `json:"sources,omitempty"`
+	MCN         *MCNStats              `json:"mcn,omitempty"`
+	Replay      *ReplayStats           `json:"replay,omitempty"`
+	Pool        *PoolStats             `json:"pool,omitempty"`
 }
 
 // run is one scenario execution owned by the daemon.
@@ -185,6 +192,27 @@ type run struct {
 	// poolBase is the process-wide tensor pool counter baseline captured at
 	// run start; stats() reports deltas against it.
 	poolBase tensor.PoolLoadStats
+
+	// Durable-run plumbing, nil/zero when journaling is off. journal is the
+	// run's write-ahead log and jpath its file ("" = memory-only or none);
+	// resume/resumeKey carry the checkpoint a recovered run restarts from,
+	// baseEvents the events prior incarnations released, sessionID the
+	// fixed closed-loop replay session, and replayResumeFrom the absolute
+	// sequence the replay server had applied at the checkpoint. All are set
+	// before the run goroutine launches and never mutated after.
+	journal          *runlog.Journal
+	jpath            string
+	resume           *runlog.Checkpoint
+	resumeKey        *scenario.Event
+	baseEvents       int64
+	sessionID        uint64
+	replayResumeFrom uint64
+	ckptEvery        int64
+	ckptInterval     time.Duration
+	// resumeSkips is the daemon-wide resume fast-forward counter (nil
+	// outside recovery); sinkRetries counts absorbed transient sink errors.
+	resumeSkips *telemetry.Counter
+	sinkRetries atomic.Int64
 
 	// log receives lifecycle events (nil = silent). Set before the run
 	// goroutine launches, never mutated after.
@@ -221,13 +249,22 @@ func (r *run) setState(state string) {
 	}
 	r.mu.Unlock()
 	tracez.Record(tracez.StageRunState, r.id, now, 0, 0, state)
+	if r.journal != nil {
+		r.journal.AppendState(state, "")
+	}
 	r.log.Infow("run state", "run", r.id, "state", state)
 }
 
-// finish records the terminal state, error and sink result.
+// finish records the terminal state, error and sink result. Idempotent:
+// once a run is terminal the recorded outcome sticks — a panic unwinding
+// through sink cleanup after a normal finish must not overwrite it.
 func (r *run) finish(state string, err error, result map[string]any) {
 	now := time.Now()
 	r.mu.Lock()
+	if terminal(r.state) {
+		r.mu.Unlock()
+		return
+	}
 	r.state = state
 	r.err = err
 	r.result = result
@@ -236,6 +273,16 @@ func (r *run) finish(state string, err error, result map[string]any) {
 	events := r.events()
 	r.mu.Unlock()
 	tracez.Record(tracez.StageRunState, r.id, now, 0, events, state)
+	if r.journal != nil {
+		msg := ""
+		if err != nil {
+			msg = err.Error()
+		}
+		r.journal.AppendState(state, msg)
+		// A durable terminal record keeps the next startup from resuming a
+		// finished run.
+		r.journal.Sync()
+	}
 	if err != nil {
 		r.log.Errorw("run finished", "run", r.id, "state", state,
 			"events", events, "wall", wall, "err", err)
@@ -264,12 +311,15 @@ func (r *run) info() RunInfo {
 	return info
 }
 
-// events returns the live released-event count (0 before streaming).
+// events returns the live released-event count: what previous
+// incarnations checkpointed plus this incarnation's pacer (the resumed
+// pacer only sees the regenerated suffix, so the sum counts every event
+// exactly once).
 func (r *run) events() int64 {
 	if p := r.pacer.Load(); p != nil {
-		return p.Events()
+		return r.baseEvents + p.Events()
 	}
-	return 0
+	return r.baseEvents
 }
 
 // lagSeconds returns the pacer's current schedule deficit.
@@ -291,6 +341,7 @@ func (r *run) stats() RunStats {
 		ID: r.id, Scenario: r.scenarioName, State: r.state,
 		Events: events, Compression: r.compression,
 		PacerLagSeconds: r.lagSeconds(),
+		SinkRetries:     r.sinkRetries.Load(),
 	}
 	if !r.streamAt.IsZero() {
 		end := now
@@ -377,10 +428,22 @@ func (r *run) stats() RunStats {
 // lifecycle goroutine body: generating → streaming → terminal state, with
 // a context cancellation draining cleanly at either phase.
 func (r *run) execute(ctx context.Context, mcnCfg mcn.Config) {
+	opts := r.opts
+	var recSp tracez.Active
+	if r.resume != nil {
+		// Recovery: regenerate deterministically and prune everything at or
+		// before the checkpointed merge key; the stream yields exactly the
+		// suffix the uninterrupted run would have produced.
+		opts.ResumeAfter = r.resumeKey
+		recSp = tracez.Begin(tracez.StageRunRecover, r.id)
+	}
 	genSp := tracez.Begin(tracez.StageRunGenerate, r.id)
-	st, err := r.spec.OpenContext(ctx, r.opts)
+	st, err := r.spec.OpenContext(ctx, opts)
 	genSp.End(0, r.scenarioName)
 	if err != nil {
+		if recSp.Live() {
+			recSp.End(0, "failed")
+		}
 		if errors.Is(err, context.Canceled) {
 			r.finish(StateStopped, nil, nil)
 		} else {
@@ -389,9 +452,19 @@ func (r *run) execute(ctx context.Context, mcnCfg mcn.Config) {
 		return
 	}
 	defer st.Close()
+	if recSp.Live() {
+		skipped := st.Skipped()
+		if r.resumeSkips != nil {
+			r.resumeSkips.Add(skipped)
+		}
+		recSp.End(skipped, "fast-forward")
+	}
 
 	pacer := scenario.NewPacer(ctx, st, r.compression)
 	pacer.SetHistograms(r.pacerLagHist, r.pacerRateHist)
+	if r.resume != nil {
+		pacer.ResumeAt(r.resume.TraceOffset)
+	}
 	r.pacer.Store(pacer)
 	r.setState(StateStreaming)
 
@@ -402,11 +475,20 @@ func (r *run) execute(ctx context.Context, mcnCfg mcn.Config) {
 		}
 	}()
 
+	// With a journal attached, a checkpoint tap between the pacer and the
+	// sink records recovery points at the configured cadence.
+	var src scenario.EventSource = pacer
+	var tap *ckptTap
+	if r.journal != nil {
+		tap = newCkptTap(pacer, r)
+		src = tap
+	}
+
 	var result map[string]any
 	switch r.sink {
 	case "count":
 		var sum scenario.Summary
-		if sum, err = scenario.Drain(pacer); err == nil {
+		if sum, err = scenario.Drain(src); err == nil {
 			result = map[string]any{
 				"events":            sum.Events,
 				"first_time":        sum.FirstTime,
@@ -419,7 +501,7 @@ func (r *run) execute(ctx context.Context, mcnCfg mcn.Config) {
 		mcnCfg.Live = r.mcnLive
 		mcnCfg.LatencySink = r.mcnLatHist
 		var rep *mcn.Report
-		if rep, err = scenario.RunMCN(pacer, mcnCfg); err == nil {
+		if rep, err = scenario.RunMCN(src, mcnCfg); err == nil {
 			result = map[string]any{
 				"events":          rep.Events,
 				"rejected":        rep.Rejected,
@@ -432,8 +514,8 @@ func (r *run) execute(ctx context.Context, mcnCfg mcn.Config) {
 			}
 		}
 	case "jsonl", "csv":
-		var n int
-		if n, err = r.writeFile(pacer); err == nil {
+		var n int64
+		if n, err = r.writeFile(src, tap); err == nil {
 			result = map[string]any{"events": n, "out": r.out}
 		}
 	case "replay":
@@ -444,7 +526,16 @@ func (r *run) execute(ctx context.Context, mcnCfg mcn.Config) {
 		// server-side session always ends on a frame boundary.
 		if r.closedLoop {
 			var cst replaynet.ClosedStats
-			if cst, err = scenario.ReplayClosed(r.addr, pacer, replaynet.ClosedOpts{Live: r.replayLive, RTTSink: r.replayRTTHist}); err == nil {
+			copts := replaynet.ClosedOpts{
+				Live: r.replayLive, RTTSink: r.replayRTTHist,
+				// A journaled run fixes its session identity at submission so
+				// a resumed incarnation rejoins the server-side session and
+				// skips everything the server already applied — exactly-once
+				// end to end.
+				SessionID:  r.sessionID,
+				ResumeFrom: r.replayResumeFrom,
+			}
+			if cst, err = scenario.ReplayClosed(r.addr, src, copts); err == nil {
 				result = map[string]any{
 					"events":          cst.Server.Events,
 					"rejected":        cst.Server.Rejected,
@@ -460,7 +551,7 @@ func (r *run) execute(ctx context.Context, mcnCfg mcn.Config) {
 			}
 		} else {
 			var rst replaynet.Stats
-			if rst, err = scenario.ReplayTCP(r.addr, pacer, replaynet.ReplayOpts{}); err == nil {
+			if rst, err = scenario.ReplayTCP(r.addr, src, replaynet.ReplayOpts{}); err == nil {
 				result = map[string]any{
 					"events":             rst.Events,
 					"rejected":           rst.Rejected,
@@ -486,30 +577,93 @@ func (r *run) execute(ctx context.Context, mcnCfg mcn.Config) {
 // gzip-compressing a ".gz" path. The writer chain is flushed and closed
 // before the event count is returned, so a stopped run's file is complete
 // up to its last released event — never truncated mid-line.
-func (r *run) writeFile(src scenario.EventSource) (int, error) {
-	f, err := os.Create(r.out)
+//
+// On a resumed run the file is cut back to the checkpoint's durable byte
+// cursor and appended to; with the bit-identical regenerated suffix this
+// makes the final file byte-for-byte equal to an uninterrupted run's
+// (exactly-once). Gzip forecloses the cursor arithmetic, so ".gz" runs
+// restart from scratch instead (resumePlan never hands them a
+// checkpoint). With a checkpoint tap attached, the tap's sync hook
+// flushes the encoder and fsyncs the file before each checkpoint is
+// recorded — a checkpoint always implies a durable sink prefix covering
+// exactly the events at or before its key.
+func (r *run) writeFile(src scenario.EventSource, tap *ckptTap) (int64, error) {
+	gz := strings.HasSuffix(r.out, ".gz")
+	resumed := r.resume != nil && !gz
+	var (
+		f         *os.File
+		err       error
+		baseLines int64
+	)
+	if resumed {
+		c := r.resume
+		baseLines = c.SinkLines
+		f, err = os.OpenFile(r.out, os.O_WRONLY, 0o644)
+		if err == nil {
+			if terr := f.Truncate(c.SinkBytes); terr != nil {
+				err = terr
+			} else if _, serr := f.Seek(c.SinkBytes, io.SeekStart); serr != nil {
+				err = serr
+			}
+			if err != nil {
+				f.Close()
+			}
+		}
+	} else {
+		f, err = os.Create(r.out)
+	}
 	if err != nil {
 		return 0, err
 	}
-	var w io.Writer = f
-	var gz *gzip.Writer
-	if strings.HasSuffix(r.out, ".gz") {
-		gz = gzip.NewWriter(f)
-		w = gz
+	cw := &countingWriter{w: &retryWriter{w: f, retries: &r.sinkRetries}}
+	if resumed {
+		cw.n = r.resume.SinkBytes
 	}
-	var n int
-	if r.sink == "jsonl" {
-		n, err = scenario.WriteJSONL(w, src)
-	} else {
-		n, err = scenario.WriteCSV(w, src)
+	var w io.Writer = cw
+	var gzw *gzip.Writer
+	if gz {
+		gzw = gzip.NewWriter(cw)
+		w = gzw
 	}
-	if gz != nil {
-		if cerr := gz.Close(); err == nil {
+	lw, lerr := scenario.NewLineWriter(w, r.sink, src.UEID, !resumed)
+	if lerr != nil {
+		f.Close()
+		return 0, lerr
+	}
+	if tap != nil && !gz {
+		tap.syncSink = func(c *runlog.Checkpoint) bool {
+			if lw.Flush() != nil || f.Sync() != nil {
+				return false
+			}
+			c.SinkBytes = cw.n
+			c.SinkLines = baseLines + int64(lw.Count())
+			return true
+		}
+	}
+	sp := tracez.Begin(tracez.StageScenarioSink, "")
+	defer func() { sp.End(int64(lw.Count()), r.sink) }()
+	for {
+		e, ok := src.Next()
+		if !ok {
+			break
+		}
+		if err = lw.Write(e); err != nil {
+			break
+		}
+	}
+	if err == nil {
+		err = src.Err()
+	}
+	if ferr := lw.Flush(); err == nil {
+		err = ferr
+	}
+	if gzw != nil {
+		if cerr := gzw.Close(); err == nil {
 			err = cerr
 		}
 	}
 	if cerr := f.Close(); err == nil {
 		err = cerr
 	}
-	return n, err
+	return baseLines + int64(lw.Count()), err
 }

@@ -23,6 +23,13 @@
 // the hot path. Close cancels every run's context; the clean-drain
 // contract of scenario.Pacer means stopped runs flush their sinks before
 // ending, so stopping the daemon never truncates output mid-record.
+//
+// Durability: with Options.JournalDir set, every run maintains a
+// write-ahead journal (internal/runlog) of its identity, progress
+// checkpoints and state transitions, and Recover resumes interrupted runs
+// after a daemon crash — byte-identical file sinks, exactly-once
+// closed-loop replay. See docs/ARCHITECTURE.md for the journal format and
+// the recovery state machine, docs/OPERATIONS.md for the runbook.
 package served
 
 import (
@@ -34,13 +41,16 @@ import (
 	"net/http"
 	"net/http/pprof"
 	"path/filepath"
+	"runtime/debug"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"cptgpt/internal/cptgpt"
 	"cptgpt/internal/logz"
 	"cptgpt/internal/mcn"
 	"cptgpt/internal/replaynet"
+	"cptgpt/internal/runlog"
 	"cptgpt/internal/scenario"
 	"cptgpt/internal/telemetry"
 	"cptgpt/internal/tensor"
@@ -68,6 +78,24 @@ type Options struct {
 	// management mux. Off by default: the profiler exposes goroutine dumps
 	// and should only face operators.
 	EnablePprof bool
+
+	// JournalDir enables durable runs: every run appends a write-ahead
+	// journal (<dir>/<run-id>.runlog) of its spec, progress checkpoints and
+	// state transitions, and Recover resumes interrupted runs from it after
+	// a daemon crash. "" disables journaling.
+	JournalDir string
+	// Fsync is the journal durability policy (default: fsync on a timer);
+	// FsyncInterval is the flush/fsync cadence for the timer-based policies
+	// (0 = the runlog default).
+	Fsync         runlog.Policy
+	FsyncInterval time.Duration
+	// Recover selects Recover's disposition of interrupted journals:
+	// "resume" (default), "fail" or "ignore".
+	Recover string
+	// CheckpointEvents / CheckpointInterval set the journal checkpoint
+	// cadence (0 = defaults).
+	CheckpointEvents   int
+	CheckpointInterval time.Duration
 }
 
 // Server owns the model cache, the run registry and the telemetry
@@ -80,6 +108,12 @@ type Server struct {
 	start time.Time
 
 	runsStarted *telemetry.Counter
+	runPanics   *telemetry.Counter
+	// journalM aggregates every run journal's append/fsync counters;
+	// recoveries and resumeSkips exist only when journaling is enabled.
+	journalM    runlog.Metrics
+	recoveries  *telemetry.Counter
+	resumeSkips *telemetry.Counter
 
 	mu           sync.Mutex
 	models       map[string]*cptgpt.Model
@@ -94,6 +128,12 @@ type Server struct {
 func New(opts Options) *Server {
 	if opts.MaxFinishedRuns <= 0 {
 		opts.MaxFinishedRuns = DefaultMaxFinishedRuns
+	}
+	if opts.CheckpointEvents <= 0 {
+		opts.CheckpointEvents = DefaultCheckpointEvents
+	}
+	if opts.CheckpointInterval <= 0 {
+		opts.CheckpointInterval = DefaultCheckpointInterval
 	}
 	cfg := opts.MCN
 	if cfg.BaseInstances == 0 && cfg.DefaultServiceCost == 0 {
@@ -139,6 +179,22 @@ func New(opts Options) *Server {
 		})
 	s.runsStarted = s.reg.Counter("cptserved_runs_started_total",
 		"Runs accepted by POST /runs since daemon start.")
+	s.runPanics = s.reg.Counter("cptserved_run_panics_total",
+		"Run goroutines that panicked and were contained as failed runs.")
+	if opts.JournalDir != "" {
+		s.reg.CounterFunc("cptserved_journal_appends_total",
+			"Records appended to run journals.", s.journalM.Appends.Load)
+		s.reg.CounterFunc("cptserved_journal_bytes_total",
+			"Framed bytes appended to run journals.", s.journalM.Bytes.Load)
+		s.reg.CounterFunc("cptserved_journal_fsyncs_total",
+			"Journal fsyncs issued by the durability policy.", s.journalM.Fsyncs.Load)
+		s.reg.CounterFunc("cptserved_journal_errors_total",
+			"Disk errors that degraded a run journal to memory-only.", s.journalM.Errors.Load)
+		s.recoveries = s.reg.Counter("cptserved_journal_recoveries_total",
+			"Interrupted runs resumed from their journals at startup.")
+		s.resumeSkips = s.reg.Counter("cptserved_journal_resume_skip_events_total",
+			"Checkpointed events regenerated and pruned during resume fast-forward.")
+	}
 	return s
 }
 
@@ -353,6 +409,14 @@ func (s *Server) handleStart(w http.ResponseWriter, req *http.Request) {
 		state:        StateGenerating,
 		startedAt:    time.Now(),
 		poolBase:     tensor.PoolLoad(),
+		ckptEvery:    int64(s.opts.CheckpointEvents),
+		ckptInterval: s.opts.CheckpointInterval,
+	}
+	if s.opts.JournalDir != "" && sink == "replay" && body.ClosedLoop {
+		// Fix the replay session identity at submission (the same derivation
+		// the closed-loop driver defaults to) so a resumed incarnation can
+		// rejoin the server-side session.
+		r.sessionID = uint64(time.Now().UnixNano())*2654435761 + 1
 	}
 	for _, src := range spec.Sources {
 		if src.Kind == "cptgpt" {
@@ -400,35 +464,67 @@ func (s *Server) handleStart(w http.ResponseWriter, req *http.Request) {
 
 	// Drop evicted runs' series outside s.mu: registry callbacks take
 	// s.mu under the registry lock, so the reverse order would deadlock.
-	for _, id := range evicted {
-		s.reg.Drop("run", id)
+	// Evicted journals go too — an evicted run must not resurrect at the
+	// next startup.
+	for _, er := range evicted {
+		s.reg.Drop("run", er.id)
+		er.removeJournal()
 	}
 
 	s.runsStarted.Inc()
 	s.registerRunMetrics(r)
 	r.log = s.log
+	if s.opts.JournalDir != "" {
+		s.openJournal(r)
+	}
 	s.log.Infow("run started", "run", r.id, "scenario", r.scenarioName,
 		"sink", r.sink, "ues", r.ues, "compression", r.compression)
 
-	go func() {
-		defer s.wg.Done()
-		defer close(r.done)
-		defer cancel()
-		r.execute(ctx, s.mcn)
-	}()
+	s.launch(r, ctx, cancel)
 
 	writeJSON(w, http.StatusCreated, r.info())
 }
 
+// executeTestHook, when non-nil, runs in the run goroutine before
+// execute — the seam the panic-containment tests inject through.
+var executeTestHook atomic.Pointer[func(*run)]
+
+// launch starts the run's lifecycle goroutine. The panic recovery is the
+// innermost defer, so a panic anywhere in the pipeline is contained: the
+// run finishes failed with the stack in its error, the journal records
+// the terminal state and closes, and the daemon carries on serving.
+func (s *Server) launch(r *run, ctx context.Context, cancel context.CancelFunc) {
+	go func() {
+		defer s.wg.Done()
+		defer close(r.done)
+		defer cancel()
+		defer func() {
+			if r.journal != nil {
+				r.journal.Close()
+			}
+		}()
+		defer func() {
+			if p := recover(); p != nil {
+				s.runPanics.Inc()
+				r.finish(StateFailed, fmt.Errorf("served: run panicked: %v\n%s", p, debug.Stack()), nil)
+			}
+		}()
+		if hook := executeTestHook.Load(); hook != nil {
+			(*hook)(r)
+		}
+		r.execute(ctx, s.mcn)
+	}()
+}
+
 // evictLocked trims the oldest terminal runs past the retention bound and
-// returns the evicted ids (whose metric series the caller must Drop after
-// releasing s.mu). Caller holds s.mu.
-func (s *Server) evictLocked() []string {
+// returns the evicted runs (whose metric series and journal files the
+// caller must drop after releasing s.mu). Caller holds s.mu.
+func (s *Server) evictLocked() []*run {
 	excess := len(s.order) - s.opts.MaxFinishedRuns
 	if excess <= 0 {
 		return nil
 	}
-	var evicted []string
+	var evicted []*run
 	kept := s.order[:0]
 	for _, id := range s.order {
 		r := s.runs[id]
@@ -437,7 +533,7 @@ func (s *Server) evictLocked() []string {
 		r.mu.Unlock()
 		if excess > 0 && evictable {
 			delete(s.runs, id)
-			evicted = append(evicted, id)
+			evicted = append(evicted, r)
 			excess--
 			continue
 		}
@@ -598,9 +694,14 @@ func (s *Server) handleStop(w http.ResponseWriter, req *http.Request) {
 	select {
 	case <-r.done:
 	case <-req.Context().Done():
+		// Still draining: keep the journal — if the daemon dies before the
+		// drain lands, the next startup should still see this run.
 		writeJSON(w, http.StatusAccepted, r.info())
 		return
 	}
+	// The operator discarded the run and the drain completed; its journal
+	// must not resurrect it at the next startup.
+	r.removeJournal()
 	writeJSON(w, http.StatusOK, r.info())
 }
 

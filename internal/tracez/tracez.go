@@ -55,6 +55,8 @@ const (
 	StageRunGenerate     = "run.generate"     // served run: open scenario stream
 	StageRunStream       = "run.stream"       // served run: drain through sink
 	StageRunState        = "run.state"        // served run state transition (dur 0)
+	StageRunlogAppend    = "runlog.append"    // one write-ahead journal append
+	StageRunRecover      = "run.recover"      // served run: crash-recovery resume
 )
 
 // Span is one recorded event: a stage, an optional run id, wall-clock start
