@@ -12,10 +12,12 @@ package cptgen
 
 import (
 	"bytes"
+	"context"
 	"os"
 	"path/filepath"
 	"sync"
 	"testing"
+	"time"
 
 	"cptgpt/internal/cptgpt"
 	"cptgpt/internal/events"
@@ -25,6 +27,7 @@ import (
 	"cptgpt/internal/replaynet"
 	"cptgpt/internal/runlog"
 	"cptgpt/internal/scenario"
+	"cptgpt/internal/served"
 	"cptgpt/internal/smm"
 	"cptgpt/internal/stats"
 	"cptgpt/internal/synthetic"
@@ -728,5 +731,30 @@ func BenchmarkRunlogAppend(b *testing.B) {
 	for i := 0; i < b.N; i++ {
 		c.Events++
 		j.AppendCheckpoint(c)
+	}
+}
+
+// BenchmarkAdmissionCheck measures the daemon's POST /runs admission fast
+// path with every limit armed: three atomic loads against the resource
+// ledger, no locks. Every submission pays this before anything else, so
+// it must stay well under a microsecond.
+func BenchmarkAdmissionCheck(b *testing.B) {
+	s := served.New(served.Options{
+		TempDir:       b.TempDir(),
+		MaxActiveRuns: 64,
+		MaxTotalUEs:   1 << 20,
+		MaxSpillBytes: 1 << 34,
+	})
+	defer func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+		defer cancel()
+		s.Close(ctx)
+	}()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := s.CheckAdmission(1000); err != nil {
+			b.Fatal(err)
+		}
 	}
 }

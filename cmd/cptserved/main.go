@@ -10,7 +10,8 @@
 //	          [-tmp DIR] [-parallelism N] [-keep N] \
 //	          [-journal-dir DIR] [-fsync interval] [-recover resume] \
 //	          [-ckpt-events N] [-ckpt-interval D] \
-//	          [-log-level info] [-pprof]
+//	          [-max-active-runs N] [-max-total-ues N] [-max-spill-bytes N] \
+//	          [-queue-depth N] [-log-level info] [-pprof]
 //
 // SIGINT/SIGTERM stop every run with a clean drain (sinks flush their
 // last released event) before the process exits. With -journal-dir set,
@@ -49,6 +50,10 @@ func main() {
 	recoverMode := flag.String("recover", "resume", "disposition of interrupted journals at startup: resume|fail|ignore")
 	ckptEvents := flag.Int("ckpt-events", 0, "events between journal checkpoints (0 = default)")
 	ckptInterval := flag.Duration("ckpt-interval", 0, "wall-time bound between journal checkpoints (0 = default)")
+	maxActiveRuns := flag.Int("max-active-runs", 0, "admission: concurrent active runs (0 = unlimited)")
+	maxTotalUEs := flag.Int64("max-total-ues", 0, "admission: summed UE population across active runs (0 = unlimited)")
+	maxSpillBytes := flag.Int64("max-spill-bytes", 0, "admission: daemon-wide live spill-disk bytes (0 = unlimited)")
+	queueDepth := flag.Int("queue-depth", 0, "admission queue slots for over-budget submissions (0 = reject immediately)")
 	var preload []string
 	flag.Func("preload", "model file to load at startup (repeatable)", func(p string) error {
 		preload = append(preload, p)
@@ -84,6 +89,10 @@ func main() {
 		Recover:            *recoverMode,
 		CheckpointEvents:   *ckptEvents,
 		CheckpointInterval: *ckptInterval,
+		MaxActiveRuns:      *maxActiveRuns,
+		MaxTotalUEs:        *maxTotalUEs,
+		MaxSpillBytes:      *maxSpillBytes,
+		QueueDepth:         *queueDepth,
 	})
 	for _, p := range preload {
 		if err := s.PreloadModel(p); err != nil {

@@ -1,0 +1,66 @@
+#!/bin/sh
+# Runnable version of the docs/OPERATIONS.md "Overload protection"
+# walkthrough: start cptserved with tight admission budgets, throw a 10x
+# submit storm at it, and watch the three outcomes — immediate admission
+# (201), the bounded FIFO queue (202, state "queued"), and 429 +
+# Retry-After — then watch the queue pump every parked run to completion
+# as budget frees, with /healthz degrading and recovering along the way.
+#
+# Usage: examples/served/overload.sh [storm-size]
+# Needs: go, curl. No model files — the builtin runs on the synthetic
+# generator. The daemon listens on an ephemeral localhost port.
+set -eu
+
+STORM=${1:-20}
+ADDR=127.0.0.1:${CPTSERVED_PORT:-18080}
+cd "$(dirname "$0")/../.."
+
+echo "== building and starting cptserved on $ADDR (2 run slots, 4 queue slots)"
+go build -o /tmp/cptserved.overload ./cmd/cptserved
+/tmp/cptserved.overload -addr "$ADDR" \
+    -max-active-runs 2 -max-total-ues 5000 -queue-depth 4 &
+DAEMON=$!
+trap 'kill -TERM $DAEMON 2>/dev/null; wait $DAEMON 2>/dev/null || true' EXIT
+
+for _ in $(seq 1 50); do
+    curl -sf "http://$ADDR/healthz" >/dev/null 2>&1 && break
+    sleep 0.1
+done
+curl -sf "http://$ADDR/healthz" >/dev/null
+
+echo "== submit storm: $STORM paced flash-crowd runs at a 2-run daemon"
+CODES=$(mktemp)
+for _ in $(seq 1 "$STORM"); do
+    curl -s -o /dev/null -w '%{http_code}\n' -X POST "http://$ADDR/runs" \
+        -d '{"scenario": "flash-crowd", "ues": 500, "compression": 1800}' \
+        >>"$CODES"
+done
+echo "   status codes (201 admitted / 202 queued / 429 rejected):"
+sort "$CODES" | uniq -c
+rm -f "$CODES"
+
+echo "== while the queue is full, readiness degrades"
+curl -s "http://$ADDR/healthz"
+echo
+
+echo "== admission telemetry mid-storm"
+curl -sf "http://$ADDR/metrics" | grep -E '^cptserved_(admission|healthz)' || true
+
+echo "== waiting for the queue to burn down (FIFO, pumped as runs finish)"
+for _ in $(seq 1 120); do
+    LEFT=$(curl -sf "http://$ADDR/runs" | grep -c '"state": "queued"' || true)
+    ACTIVE=$(curl -sf "http://$ADDR/metrics" \
+        | sed -n 's/^cptserved_runs_active \([0-9.]*\)$/\1/p')
+    echo "   queued: $LEFT  active: $ACTIVE"
+    [ "$LEFT" = 0 ] && break
+    sleep 2
+done
+
+echo "== every admitted run reaches a terminal state; readiness recovers"
+curl -s "http://$ADDR/healthz"
+echo
+curl -sf "http://$ADDR/runs" \
+    | grep -o '"state": "[a-z]*"' | sort | uniq -c
+curl -sf "http://$ADDR/metrics" | grep -E '^cptserved_admission' || true
+
+echo "== done — daemon shuts down via trap"

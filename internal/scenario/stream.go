@@ -113,6 +113,11 @@ type RunOpts struct {
 	// performs observes its wall duration there — the distribution behind
 	// a daemon's cptserved_decode_step_seconds series.
 	SourceStepHist func(sourceID string) *telemetry.Histogram
+	// Budget bounds the run's resource consumption (zero = unlimited):
+	// spill-disk bytes are enforced at every spill and merge write, event
+	// and wall-clock bounds by the Pacer. An over-budget run fails with a
+	// typed *BudgetExceededError.
+	Budget Budget
 	// ResumeAfter fast-forwards the run past a checkpointed merge key:
 	// every event ≤ (Time, UE, Seq) is regenerated (the pipeline is
 	// deterministic, so regeneration is bit-identical) but pruned at the
@@ -187,8 +192,12 @@ func decodeRecord(buf []byte) Event {
 	}
 }
 
-// writeRun spills a sorted event slice to path.
-func writeRun(path string, evs []Event) error {
+// writeRun spills a sorted event slice to path, charging the spill
+// account first so a quota breach aborts before the disk fills further.
+func writeRun(path string, evs []Event, acct *spillAccount) error {
+	if err := acct.add(int64(len(evs)) * recordSize); err != nil {
+		return err
+	}
 	f, err := os.Create(path)
 	if err != nil {
 		return fmt.Errorf("scenario: creating run %s: %w", path, err)
@@ -263,6 +272,7 @@ type Stream struct {
 	total   int // UEs across sources
 	h       mergeHeap
 	dir     string
+	acct    *spillAccount // spill-byte accounting released on Close (nil = untracked)
 	err     error
 	closed  bool
 	skipped int64 // events pruned by RunOpts.ResumeAfter
@@ -349,6 +359,7 @@ func (st *Stream) Close() error {
 		r.close()
 	}
 	st.h = nil
+	st.acct.release()
 	if st.dir != "" {
 		if err := os.RemoveAll(st.dir); err != nil {
 			return fmt.Errorf("scenario: removing spill dir: %w", err)
@@ -421,9 +432,11 @@ func (spec *Spec) OpenContext(ctx context.Context, opts RunOpts) (st *Stream, er
 	if err != nil {
 		return nil, fmt.Errorf("scenario: creating spill dir: %w", err)
 	}
+	acct := newSpillAccount(opts.Budget)
 	defer func() {
 		if err != nil {
 			os.RemoveAll(dir)
+			acct.release()
 		}
 	}()
 
@@ -444,17 +457,17 @@ func (spec *Spec) OpenContext(ctx context.Context, opts RunOpts) (st *Stream, er
 	}
 
 	// Phase 2: generate, transform, sort, spill — fanned over workers.
-	runs, skipped, err := spillChunks(ctx, spec, sources, jobs, opts)
+	runs, skipped, err := spillChunks(ctx, spec, sources, jobs, opts, acct)
 	if err != nil {
 		return nil, err
 	}
 
 	// Phase 3: bound the merge fan-in.
-	if runs, err = reduceRuns(ctx, runs, opts.fanIn(), dir); err != nil {
+	if runs, err = reduceRuns(ctx, runs, opts.fanIn(), dir, acct); err != nil {
 		return nil, err
 	}
 
-	st = &Stream{gen: gen, dir: dir, total: total, skipped: skipped}
+	st = &Stream{gen: gen, dir: dir, acct: acct, total: total, skipped: skipped}
 	for i := range sources {
 		st.srcIDs = append(st.srcIDs, sources[i].id)
 	}
@@ -504,7 +517,7 @@ func openRunHeap(paths []string) (mergeHeap, error) {
 // in deterministic job order (empty chunks are skipped) plus the number of
 // events pruned by RunOpts.ResumeAfter. A context cancellation stops
 // dispatching jobs and surfaces as ctx's error.
-func spillChunks(ctx context.Context, spec *Spec, sources []boundSource, jobs []chunkJob, opts RunOpts) ([]string, int64, error) {
+func spillChunks(ctx context.Context, spec *Spec, sources []boundSource, jobs []chunkJob, opts RunOpts, acct *spillAccount) ([]string, int64, error) {
 	horizon := spec.HorizonSec
 	workers := opts.workers()
 	if workers > len(jobs) {
@@ -584,7 +597,7 @@ func spillChunks(ctx context.Context, spec *Spec, sources []boundSource, jobs []
 						return
 					}
 				}
-				if err := writeRun(job.out, out); err != nil {
+				if err := writeRun(job.out, out, acct); err != nil {
 					errs[w] = err
 					return
 				}
@@ -636,13 +649,25 @@ func sortEvents(evs []Event) {
 // re-merge each byte O(1) times on average. Merging never reorders the
 // (Time, UE, Seq) total order, so the final stream is independent of how
 // many passes happened.
-func reduceRuns(ctx context.Context, runs []string, fanIn int, dir string) ([]string, error) {
+func reduceRuns(ctx context.Context, runs []string, fanIn int, dir string, acct *spillAccount) ([]string, error) {
 	for seq := 0; len(runs) > fanIn; seq++ {
 		if err := ctx.Err(); err != nil {
 			return nil, err
 		}
 		k := min(fanIn, len(runs)-fanIn+1)
 		out := filepath.Join(dir, fmt.Sprintf("merge-%06d.bin", seq))
+		// The merge output is as large as its inputs combined; charge it
+		// up front so the quota covers the pass's 2× peak, not just the
+		// steady state.
+		var inBytes int64
+		for _, path := range runs[:k] {
+			if fi, err := os.Stat(path); err == nil {
+				inBytes += fi.Size()
+			}
+		}
+		if err := acct.add(inBytes); err != nil {
+			return nil, err
+		}
 		if err := mergeRunFiles(runs[:k], out); err != nil {
 			return nil, err
 		}
@@ -651,6 +676,7 @@ func reduceRuns(ctx context.Context, runs []string, fanIn int, dir string) ([]st
 		for _, path := range runs[:k] {
 			os.Remove(path)
 		}
+		acct.sub(inBytes)
 		runs = append(runs[k:], out)
 	}
 	return runs, nil

@@ -50,13 +50,21 @@ func (s *Server) openJournal(r *run) {
 		Precision: r.opts.Precision, Speculative: r.opts.Speculative,
 		DraftTokens: r.opts.DraftTokens,
 		Parallelism: r.opts.Parallelism, BatchSize: r.opts.BatchSize,
-		SessionID: r.sessionID, StartedAt: r.startedAt,
+		SessionID:     r.sessionID,
+		MaxSpillBytes: r.budget.MaxSpillBytes, MaxEvents: r.budget.MaxEvents,
+		MaxWallNanos: int64(r.budget.MaxWall), Degrade: r.degrade,
+		ShedAfterNanos: int64(r.shedAfter),
+		StartedAt:      r.startedAt,
 	})
 	// The write-ahead contract: the run's identity record is durable
 	// before the run does any work.
 	j.Sync()
+	// The run may already be published (healthz reads journals of live
+	// runs under r.mu), so the assignment takes the run lock.
+	r.mu.Lock()
 	r.journal = j
 	r.jpath = path
+	r.mu.Unlock()
 }
 
 // journalOpts is the shared runlog configuration: every journal feeds the
@@ -100,6 +108,10 @@ type ckptTap struct {
 	// checkpoint freshness).
 	syncSink func(*runlog.Checkpoint) bool
 
+	// shed, when set, reads the pacer's cumulative load-shed counter so
+	// checkpoints carry it and a resumed pacer continues the count.
+	shed func() int64
+
 	// acked, when set (closed-loop replay), is the driver's contiguously
 	// applied absolute sequence: checkpoints cover the newest
 	// server-acknowledged event rather than the newest released one, and
@@ -130,6 +142,9 @@ func newCkptTap(src scenario.EventSource, r *run) *ckptTap {
 	if r.sink == "replay" && r.closedLoop {
 		t.acked = &r.replayLive.AckedSeq
 		t.seqBase = r.replayResumeFrom
+	}
+	if p := r.pacer.Load(); p != nil {
+		t.shed = p.Shed
 	}
 	return t
 }
@@ -195,6 +210,9 @@ func (t *ckptTap) checkpoint() {
 		if t.syncSink != nil && !t.syncSink(&c) {
 			return
 		}
+	}
+	if t.shed != nil {
+		c.Shed = t.shed()
 	}
 	t.j.AppendCheckpoint(c)
 	t.lastN = t.n

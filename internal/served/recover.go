@@ -62,7 +62,13 @@ func (s *Server) Recover() error {
 		case "fail":
 			s.registerInterrupted(st, errors.New("served: run interrupted by daemon restart (recovery disabled)"))
 		default:
-			if err := s.resumeRun(st); err != nil {
+			if err := s.resumeRun(st); errors.Is(err, errDupRun) {
+				// The id is already live (a duplicate journal, or a resume
+				// racing re-registration). Registering a failed casualty
+				// would overwrite the live run, so just drop the orphan.
+				s.log.Warnw("discarding duplicate run journal", "run", st.Begin.RunID, "path", st.Path)
+				os.Remove(st.Path)
+			} else if err != nil {
 				s.registerInterrupted(st, fmt.Errorf("served: run interrupted and resume failed: %w", err))
 			}
 		}
@@ -106,12 +112,23 @@ func (s *Server) registerInterrupted(st *runlog.RunState, cause error) {
 		j.Close()
 	}
 	s.mu.Lock()
+	if _, dup := s.runs[r.id]; dup {
+		// The id is already registered (live or resumed): overwriting it
+		// would orphan the live run's registry entry and duplicate its id
+		// in the listing order. Keep the live run.
+		s.mu.Unlock()
+		s.log.Warnw("interrupted run already registered; keeping the live entry", "run", r.id)
+		return
+	}
 	s.runs[r.id] = r
 	s.order = append(s.order, r.id)
 	s.mu.Unlock()
 	s.registerRunMetrics(r)
 	s.log.Warnw("interrupted run registered as failed", "run", r.id, "err", cause)
 }
+
+// errDupRun reports a resume colliding with an already-registered run id.
+var errDupRun = errors.New("run id already registered")
 
 // resumeRun rebuilds an interrupted run from its journal and relaunches
 // it: the scenario regenerates deterministically and fast-forwards past
@@ -145,6 +162,19 @@ func (s *Server) resumeRun(st *runlog.RunState) error {
 		jpath:        st.Path,
 		log:          s.log,
 		resumeSkips:  s.resumeSkips,
+		// The journaled resource envelope survives the crash: the resumed
+		// incarnation runs under the budgets it was admitted with.
+		degrade:    b.Degrade,
+		shedAfter:  time.Duration(b.ShedAfterNanos),
+		admitUEs:   admissionUEs(b.UEs, spec),
+		recovered:  true,
+		overBudget: s.overBudgetInc,
+		budget: scenario.Budget{
+			MaxSpillBytes: b.MaxSpillBytes,
+			MaxEvents:     b.MaxEvents,
+			MaxWall:       time.Duration(b.MaxWallNanos),
+			SpillUsed:     &s.admission.spill,
+		},
 	}
 	for _, src := range spec.Sources {
 		if src.Kind == "cptgpt" {
@@ -165,6 +195,7 @@ func (s *Server) resumeRun(st *runlog.RunState) error {
 		Precision:      b.Precision,
 		Speculative:    b.Speculative,
 		DraftTokens:    b.DraftTokens,
+		Budget:         r.budget,
 		LoadModel:      s.loadModel,
 		SourceStats:    func(id string) *cptgpt.DecodeStats { return r.decode[id] },
 		SourceStepHist: func(id string) *telemetry.Histogram { return r.stepHists[id] },
@@ -183,6 +214,7 @@ func (s *Server) resumeRun(st *runlog.RunState) error {
 
 	ctx, cancel := context.WithCancel(context.Background())
 	r.cancel = cancel
+	r.runCtx = ctx
 	s.mu.Lock()
 	if s.shuttingDown {
 		s.mu.Unlock()
@@ -194,10 +226,15 @@ func (s *Server) resumeRun(st *runlog.RunState) error {
 		s.mu.Unlock()
 		cancel()
 		j.Close()
-		return fmt.Errorf("run id %s already registered", r.id)
+		return fmt.Errorf("%w: %s", errDupRun, r.id)
 	}
 	s.runs[r.id] = r
 	s.order = append(s.order, r.id)
+	// Resumed runs reserve without an admission check: they were admitted
+	// before the crash, and recovery must not strand them behind budget
+	// freshly admitted runs now hold. A transient overshoot of the limits
+	// is the accepted cost.
+	s.admission.reserve(r.admitUEs)
 	s.wg.Add(1)
 	s.mu.Unlock()
 

@@ -29,8 +29,11 @@ import (
 // (source exhausted), stopped (operator cancellation drained cleanly) or
 // failed (pipeline or sink error). A run resumed from its journal after a
 // daemon crash is born recovering instead — the regeneration phase that
-// fast-forwards to the checkpoint — and then moves to streaming.
+// fast-forwards to the checkpoint — and then moves to streaming. A run
+// the admission controller could not fit is born queued and moves to
+// generating when budget frees (or to stopped if deleted while waiting).
 const (
+	StateQueued     = "queued"
 	StateGenerating = "generating"
 	StateRecovering = "recovering"
 	StateStreaming  = "streaming"
@@ -78,6 +81,22 @@ type StartRequest struct {
 	// Parallelism / BatchSize tune the generation phase (0 = defaults).
 	Parallelism int `json:"parallelism,omitempty"`
 	BatchSize   int `json:"batch_size,omitempty"`
+	// Per-run resource budgets (0 = unlimited). MaxSpillBytes caps the
+	// run's live spill-disk footprint, MaxEvents the events released, and
+	// MaxWallSeconds the wall clock from launch; an over-budget run fails
+	// with a typed budget_exceeded error naming what ran out.
+	MaxSpillBytes  int64   `json:"max_spill_bytes,omitempty"`
+	MaxEvents      int64   `json:"max_events,omitempty"`
+	MaxWallSeconds float64 `json:"max_wall_seconds,omitempty"`
+	// Degrade selects the file-sink failure policy: "fail" (default —
+	// a hard sink error fails the run), "drop" (circuit breaker discards
+	// writes while the sink is broken; lossy output), or "pause" (breaker
+	// blocks the drain until the sink recovers; lossless, adds lag).
+	Degrade string `json:"degrade,omitempty"`
+	// ShedAfterLagSeconds arms pacer load shedding: when emission lags
+	// the paced schedule by more than this, the pacer stops sleeping and
+	// free-runs (dropping pacing, never events) until lag halves.
+	ShedAfterLagSeconds float64 `json:"shed_after_lag_seconds,omitempty"`
 }
 
 // RunInfo is the wire form of a run's identity and lifecycle.
@@ -155,8 +174,12 @@ type RunStats struct {
 	Compression     float64 `json:"compression"`
 	PacerLagSeconds float64 `json:"pacer_lag_seconds"`
 	// SinkRetries counts transient sink write errors absorbed by the
-	// bounded-backoff retry layer.
+	// bounded-backoff retry layer; SinkDropped the writes the circuit
+	// breaker discarded under the drop policy; ShedEvents the releases
+	// the pacer load-shed (events delivered, pacing skipped).
 	SinkRetries int64                  `json:"sink_retries,omitempty"`
+	SinkDropped int64                  `json:"sink_dropped,omitempty"`
+	ShedEvents  int64                  `json:"shed_events,omitempty"`
 	Sources     map[string]SourceStats `json:"sources,omitempty"`
 	MCN         *MCNStats              `json:"mcn,omitempty"`
 	Replay      *ReplayStats           `json:"replay,omitempty"`
@@ -178,6 +201,27 @@ type run struct {
 
 	cancel context.CancelFunc
 	done   chan struct{}
+	// runCtx is the run's root context, carried from submission so a
+	// queued run can launch (or be cancelled) later.
+	runCtx context.Context
+
+	// Overload-protection plumbing, all set before the run is published.
+	// budget is the run's resource envelope (also in opts.Budget);
+	// degrade the file-sink failure policy; shedAfter the pacer
+	// load-shedding bound; admitUEs the run's admission cost in UE slots;
+	// recovered marks a crash-recovery incarnation (its wall budget
+	// counts from the journaled start); overBudget counts budget breaches
+	// into the daemon's kind-labeled series.
+	budget     scenario.Budget
+	degrade    string
+	shedAfter  time.Duration
+	admitUEs   int64
+	recovered  bool
+	overBudget func(kind string)
+	// queueSp spans the admission-queue wait; breaker is the live sink
+	// circuit breaker (nil until the sink opens, and for fail policy).
+	queueSp tracez.Active
+	breaker atomic.Pointer[breakerWriter]
 
 	// pacer is published by the lifecycle goroutine when streaming begins;
 	// its counters are the run's live event telemetry.
@@ -284,12 +328,31 @@ func (r *run) finish(state string, err error, result map[string]any) {
 		r.journal.Sync()
 	}
 	if err != nil {
+		if be, ok := scenario.AsBudgetExceeded(err); ok && r.overBudget != nil {
+			r.overBudget(be.Kind)
+		}
 		r.log.Errorw("run finished", "run", r.id, "state", state,
 			"events", events, "wall", wall, "err", err)
 	} else {
 		r.log.Infow("run finished", "run", r.id, "state", state,
 			"events", events, "wall", wall)
 	}
+}
+
+// wallDeadline is when the run's wall-clock budget expires. A fresh run
+// gets the full budget from launch (queue wait excluded); a recovered run
+// gets the remainder measured from its journaled start, with a small
+// grace so recovery can at least reach a clean terminal state.
+func (r *run) wallDeadline() time.Time {
+	d := r.budget.MaxWall
+	if r.recovered {
+		if rem := d - time.Since(r.startedAt); rem < time.Second {
+			d = time.Second
+		} else {
+			d = rem
+		}
+	}
+	return time.Now().Add(d)
 }
 
 // info snapshots the run as wire-form RunInfo.
@@ -342,6 +405,12 @@ func (r *run) stats() RunStats {
 		Events: events, Compression: r.compression,
 		PacerLagSeconds: r.lagSeconds(),
 		SinkRetries:     r.sinkRetries.Load(),
+	}
+	if p := r.pacer.Load(); p != nil {
+		st.ShedEvents = p.Shed()
+	}
+	if b := r.breaker.Load(); b != nil {
+		st.SinkDropped = b.dropped.Load()
 	}
 	if !r.streamAt.IsZero() {
 		end := now
@@ -444,9 +513,18 @@ func (r *run) execute(ctx context.Context, mcnCfg mcn.Config) {
 		if recSp.Live() {
 			recSp.End(0, "failed")
 		}
-		if errors.Is(err, context.Canceled) {
+		switch {
+		case errors.Is(err, context.Canceled):
 			r.finish(StateStopped, nil, nil)
-		} else {
+		case r.budget.MaxWall > 0 && errors.Is(err, context.DeadlineExceeded):
+			// The wall-clock budget expired during generation: the only
+			// deadline on a run's context is its own budget, so classify
+			// the expiry as the typed breach.
+			if _, typed := scenario.AsBudgetExceeded(err); !typed {
+				err = scenario.WrapWallClock(r.budget.MaxWall, time.Since(r.startedAt), err)
+			}
+			r.finish(StateFailed, err, nil)
+		default:
 			r.finish(StateFailed, err, nil)
 		}
 		return
@@ -462,8 +540,24 @@ func (r *run) execute(ctx context.Context, mcnCfg mcn.Config) {
 
 	pacer := scenario.NewPacer(ctx, st, r.compression)
 	pacer.SetHistograms(r.pacerLagHist, r.pacerRateHist)
+	// The pacer enforces the event-count ceiling (less what previous
+	// incarnations already released) and classifies the wall deadline; a
+	// resumed run also continues its cumulative shed counter.
+	pb := r.budget
+	if pb.MaxEvents > 0 {
+		if rem := pb.MaxEvents - r.baseEvents; rem >= 1 {
+			pb.MaxEvents = rem
+		} else {
+			pb.MaxEvents = 1
+		}
+	}
+	pacer.SetBudget(pb)
+	if r.shedAfter > 0 {
+		pacer.SetShedAfterLag(r.shedAfter)
+	}
 	if r.resume != nil {
 		pacer.ResumeAt(r.resume.TraceOffset)
+		pacer.ResumeShed(r.resume.Shed)
 	}
 	r.pacer.Store(pacer)
 	r.setState(StateStreaming)
@@ -515,8 +609,11 @@ func (r *run) execute(ctx context.Context, mcnCfg mcn.Config) {
 		}
 	case "jsonl", "csv":
 		var n int64
-		if n, err = r.writeFile(src, tap); err == nil {
+		if n, err = r.writeFile(ctx, src, tap); err == nil {
 			result = map[string]any{"events": n, "out": r.out}
+			if b := r.breaker.Load(); b != nil && b.dropped.Load() > 0 {
+				result["dropped"] = b.dropped.Load()
+			}
 		}
 	case "replay":
 		// The pacer already paces against wall clock, so the replay drivers
@@ -573,6 +670,11 @@ func (r *run) execute(ctx context.Context, mcnCfg mcn.Config) {
 	}
 }
 
+// sinkWriterTestHook, when non-nil, wraps the sink file below the retry
+// layer — the seam the degrade and soak tests inject ENOSPC and slow-sink
+// faults through.
+var sinkWriterTestHook atomic.Pointer[func(runID string, w io.Writer) io.Writer]
+
 // writeFile drains the source into the run's jsonl/csv output file,
 // gzip-compressing a ".gz" path. The writer chain is flushed and closed
 // before the event count is returned, so a stopped run's file is complete
@@ -587,7 +689,7 @@ func (r *run) execute(ctx context.Context, mcnCfg mcn.Config) {
 // flushes the encoder and fsyncs the file before each checkpoint is
 // recorded — a checkpoint always implies a durable sink prefix covering
 // exactly the events at or before its key.
-func (r *run) writeFile(src scenario.EventSource, tap *ckptTap) (int64, error) {
+func (r *run) writeFile(ctx context.Context, src scenario.EventSource, tap *ckptTap) (int64, error) {
 	gz := strings.HasSuffix(r.out, ".gz")
 	resumed := r.resume != nil && !gz
 	var (
@@ -615,7 +717,11 @@ func (r *run) writeFile(src scenario.EventSource, tap *ckptTap) (int64, error) {
 	if err != nil {
 		return 0, err
 	}
-	cw := &countingWriter{w: &retryWriter{w: f, retries: &r.sinkRetries}}
+	var base io.Writer = f
+	if hook := sinkWriterTestHook.Load(); hook != nil {
+		base = (*hook)(r.id, f)
+	}
+	cw := &countingWriter{w: &retryWriter{w: base, retries: &r.sinkRetries}}
 	if resumed {
 		cw.n = r.resume.SinkBytes
 	}
@@ -624,6 +730,15 @@ func (r *run) writeFile(src scenario.EventSource, tap *ckptTap) (int64, error) {
 	if gz {
 		gzw = gzip.NewWriter(cw)
 		w = gzw
+	}
+	if r.degrade == DegradeDrop || r.degrade == DegradePause {
+		// The breaker sits above the byte-counting layer, so dropped
+		// writes never reach the durable-cursor arithmetic and resumed
+		// checkpoints stay exact.
+		bw := newBreakerWriter(w, ctx, r.degrade, r.id)
+		r.breaker.Store(bw)
+		defer bw.finishSpan()
+		w = bw
 	}
 	lw, lerr := scenario.NewLineWriter(w, r.sink, src.UEID, !resumed)
 	if lerr != nil {

@@ -96,6 +96,18 @@ type Options struct {
 	// cadence (0 = defaults).
 	CheckpointEvents   int
 	CheckpointInterval time.Duration
+
+	// Admission control — daemon-wide budgets checked at POST /runs, all
+	// 0 = unlimited. MaxActiveRuns bounds concurrently active runs,
+	// MaxTotalUEs the summed UE population across them, MaxSpillBytes the
+	// daemon-wide live spill-disk footprint. An over-budget submission
+	// waits in a bounded FIFO queue of QueueDepth (0 = no queue) and is
+	// admitted as budget frees; past the queue it is rejected with 429
+	// and a Retry-After.
+	MaxActiveRuns int
+	MaxTotalUEs   int64
+	MaxSpillBytes int64
+	QueueDepth    int
 }
 
 // Server owns the model cache, the run registry and the telemetry
@@ -115,10 +127,20 @@ type Server struct {
 	recoveries  *telemetry.Counter
 	resumeSkips *telemetry.Counter
 
+	// admission is the lock-free daemon-wide resource ledger; the
+	// counters record its verdicts, budgetExceeded (keyed by budget kind)
+	// the per-run budget breaches.
+	admission      admitter
+	admitted       *telemetry.Counter
+	rejected       *telemetry.Counter
+	queuedTotal    *telemetry.Counter
+	budgetExceeded map[string]*telemetry.Counter
+
 	mu           sync.Mutex
 	models       map[string]*cptgpt.Model
 	runs         map[string]*run
 	order        []string // insertion order, for listing and eviction
+	queue        []*run   // FIFO admission queue, subset of runs
 	seq          int
 	shuttingDown bool
 	wg           sync.WaitGroup
@@ -148,6 +170,9 @@ func New(opts Options) *Server {
 		models: make(map[string]*cptgpt.Model),
 		runs:   make(map[string]*run),
 	}
+	s.admission.maxRuns = int64(opts.MaxActiveRuns)
+	s.admission.maxUEs = opts.MaxTotalUEs
+	s.admission.maxSpill = opts.MaxSpillBytes
 	// The daemon always flies with the recorder on: the ring is fixed-size
 	// and span recording is a few atomics, so there is no reason to make
 	// operators opt in before the incident they need it for.
@@ -181,6 +206,36 @@ func New(opts Options) *Server {
 		"Runs accepted by POST /runs since daemon start.")
 	s.runPanics = s.reg.Counter("cptserved_run_panics_total",
 		"Run goroutines that panicked and were contained as failed runs.")
+	s.admitted = s.reg.Counter("cptserved_admission_admitted_total",
+		"Submissions admitted (immediately or from the queue).")
+	s.rejected = s.reg.Counter("cptserved_admission_rejected_total",
+		"Submissions rejected with 429 (budget exhausted, queue full).")
+	s.queuedTotal = s.reg.Counter("cptserved_admission_queued_total",
+		"Submissions parked in the admission queue.")
+	s.reg.GaugeFunc("cptserved_admission_queue_depth",
+		"Runs currently waiting in the admission queue.",
+		func() float64 {
+			s.mu.Lock()
+			defer s.mu.Unlock()
+			return float64(len(s.queue))
+		})
+	s.reg.GaugeFunc("cptserved_spill_bytes",
+		"Live spill-disk footprint summed across runs.",
+		func() float64 { return float64(s.admission.spill.Load()) })
+	s.budgetExceeded = make(map[string]*telemetry.Counter, 3)
+	for _, kind := range []string{scenario.BudgetSpillBytes, scenario.BudgetEvents, scenario.BudgetWallClock} {
+		s.budgetExceeded[kind] = s.reg.Counter("cptserved_budget_exceeded_total",
+			"Runs failed by a per-run resource budget, by exhausted resource.",
+			telemetry.L("kind", kind))
+	}
+	s.reg.GaugeFunc("cptserved_healthz_state",
+		"Readiness: 1 when serving, 0 when degraded (see GET /healthz).",
+		func() float64 {
+			if len(s.healthReasons()) > 0 {
+				return 0
+			}
+			return 1
+		})
 	if opts.JournalDir != "" {
 		s.reg.CounterFunc("cptserved_journal_appends_total",
 			"Records appended to run journals.", s.journalM.Appends.Load)
@@ -243,9 +298,7 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("GET /runs/{id}/stats", s.handleStats)
 	mux.HandleFunc("DELETE /runs/{id}", s.handleStop)
 	mux.HandleFunc("GET /metrics", s.handleMetrics)
-	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, _ *http.Request) {
-		writeJSON(w, http.StatusOK, map[string]any{"ok": true, "uptime_seconds": time.Since(s.start).Seconds()})
-	})
+	mux.HandleFunc("GET /healthz", s.handleHealthz)
 	mux.Handle("GET /debug/trace", tracez.Handler())
 	if s.opts.EnablePprof {
 		mux.HandleFunc("GET /debug/pprof/", pprof.Index)
@@ -255,6 +308,72 @@ func (s *Server) Handler() http.Handler {
 		mux.HandleFunc("GET /debug/pprof/trace", pprof.Trace)
 	}
 	return mux
+}
+
+// overBudgetInc counts a run's budget breach into the kind-labeled
+// cptserved_budget_exceeded_total series.
+func (s *Server) overBudgetInc(kind string) {
+	if c := s.budgetExceeded[kind]; c != nil {
+		c.Inc()
+	}
+}
+
+// healthReasons computes why the daemon is degraded — empty when it is
+// healthy. Degraded means still serving, but with reduced guarantees an
+// operator should know about before pointing more load here: an active
+// run's journal fell back to memory-only (crash recovery lost), a sink
+// circuit breaker is open (output degraded), or the admission queue is
+// full (new submissions bounce).
+func (s *Server) healthReasons() []string {
+	var reasons []string
+	s.mu.Lock()
+	if s.opts.QueueDepth > 0 && len(s.queue) >= s.opts.QueueDepth {
+		reasons = append(reasons, "admission_queue_full")
+	}
+	runs := make([]*run, 0, len(s.runs))
+	for _, r := range s.runs {
+		runs = append(runs, r)
+	}
+	s.mu.Unlock()
+	journalDegraded, breakerOpenSeen := false, false
+	for _, r := range runs {
+		r.mu.Lock()
+		j, term := r.journal, terminal(r.state)
+		r.mu.Unlock()
+		if term {
+			continue
+		}
+		if j != nil && j.Degraded() {
+			journalDegraded = true
+		}
+		if r.breakerState() == float64(breakerOpen) {
+			breakerOpenSeen = true
+		}
+	}
+	if journalDegraded {
+		reasons = append(reasons, "journal_degraded")
+	}
+	if breakerOpenSeen {
+		reasons = append(reasons, "sink_breaker_open")
+	}
+	return reasons
+}
+
+// handleHealthz is readiness-aware liveness: 200 while healthy, 503 with
+// the reasons while degraded — load balancers steer traffic away while
+// operators read the detail.
+func (s *Server) handleHealthz(w http.ResponseWriter, _ *http.Request) {
+	body := map[string]any{"uptime_seconds": time.Since(s.start).Seconds()}
+	if reasons := s.healthReasons(); len(reasons) > 0 {
+		body["ok"] = false
+		body["state"] = "degraded"
+		body["reasons"] = reasons
+		writeJSON(w, http.StatusServiceUnavailable, body)
+		return
+	}
+	body["ok"] = true
+	body["state"] = "serving"
+	writeJSON(w, http.StatusOK, body)
 }
 
 // Close stops every run (clean drain), waits for their goroutines, and
@@ -273,7 +392,16 @@ func (s *Server) Close(ctx context.Context) error {
 		r.mu.Unlock()
 		r.cancel()
 	}
+	queued := s.queue
+	s.queue = nil
 	s.mu.Unlock()
+	// Queued runs never launched: no goroutine will close their done
+	// channel, so finish them here as stopped.
+	for _, r := range queued {
+		r.queueSp.End(0, "shutdown")
+		r.finish(StateStopped, nil, nil)
+		close(r.done)
+	}
 	s.log.Infow("daemon closing", "active_runs", active)
 
 	done := make(chan struct{})
@@ -365,6 +493,21 @@ func validateStart(req *StartRequest) error {
 			return fmt.Errorf("closed_loop only applies to the replay sink")
 		}
 	}
+	if req.MaxSpillBytes < 0 || req.MaxEvents < 0 {
+		return errors.New("max_spill_bytes and max_events must be ≥ 0")
+	}
+	if req.MaxWallSeconds < 0 || req.ShedAfterLagSeconds < 0 {
+		return errors.New("max_wall_seconds and shed_after_lag_seconds must be ≥ 0")
+	}
+	switch req.Degrade {
+	case "", DegradeFail:
+	case DegradeDrop, DegradePause:
+		if req.Sink != "jsonl" && req.Sink != "csv" {
+			return fmt.Errorf("degrade %q only applies to the jsonl and csv sinks", req.Degrade)
+		}
+	default:
+		return fmt.Errorf("unknown degrade policy %q (want fail, drop or pause)", req.Degrade)
+	}
 	return nil
 }
 
@@ -411,6 +554,16 @@ func (s *Server) handleStart(w http.ResponseWriter, req *http.Request) {
 		poolBase:     tensor.PoolLoad(),
 		ckptEvery:    int64(s.opts.CheckpointEvents),
 		ckptInterval: s.opts.CheckpointInterval,
+		degrade:      body.Degrade,
+		shedAfter:    time.Duration(body.ShedAfterLagSeconds * float64(time.Second)),
+		admitUEs:     admissionUEs(body.UEs, spec),
+		overBudget:   s.overBudgetInc,
+		budget: scenario.Budget{
+			MaxSpillBytes: body.MaxSpillBytes,
+			MaxEvents:     body.MaxEvents,
+			MaxWall:       time.Duration(body.MaxWallSeconds * float64(time.Second)),
+			SpillUsed:     &s.admission.spill,
+		},
 	}
 	if s.opts.JournalDir != "" && sink == "replay" && body.ClosedLoop {
 		// Fix the replay session identity at submission (the same derivation
@@ -437,6 +590,7 @@ func (s *Server) handleStart(w http.ResponseWriter, req *http.Request) {
 		Precision:   body.Precision,
 		Speculative: body.Speculative,
 		DraftTokens: body.DraftTokens,
+		Budget:      r.budget,
 		LoadModel:   s.loadModel,
 		SourceStats: func(id string) *cptgpt.DecodeStats { return r.decode[id] },
 		// r.stepHists is populated by registerRunMetrics before the run
@@ -446,6 +600,7 @@ func (s *Server) handleStart(w http.ResponseWriter, req *http.Request) {
 
 	ctx, cancel := context.WithCancel(context.Background())
 	r.cancel = cancel
+	r.runCtx = ctx
 
 	s.mu.Lock()
 	if s.shuttingDown {
@@ -454,12 +609,34 @@ func (s *Server) handleStart(w http.ResponseWriter, req *http.Request) {
 		writeErr(w, http.StatusServiceUnavailable, errors.New("daemon is shutting down"))
 		return
 	}
+	admitErr := s.admission.check(r.admitUEs)
+	if admitErr != nil && len(s.queue) >= s.opts.QueueDepth {
+		// Over budget and no queue space: bounce now. The check is
+		// re-taken under s.mu, so the rejection is authoritative, not a
+		// stale read racing another admission.
+		s.mu.Unlock()
+		cancel()
+		s.rejected.Inc()
+		s.log.Infow("run rejected by admission control", "scenario", name,
+			"reason", admitErr.Reason, "used", admitErr.Used, "limit", admitErr.Limit)
+		w.Header().Set("Retry-After",
+			fmt.Sprintf("%d", int(admitErr.RetryAfter.Seconds())))
+		writeErr(w, http.StatusTooManyRequests, admitErr)
+		return
+	}
 	s.seq++
 	r.id = fmt.Sprintf("run-%d", s.seq)
 	s.runs[r.id] = r
 	s.order = append(s.order, r.id)
+	queued := admitErr != nil
+	if queued {
+		r.state = StateQueued
+		s.enqueueLocked(r)
+	} else {
+		s.admission.reserve(r.admitUEs)
+		s.wg.Add(1)
+	}
 	evicted := s.evictLocked()
-	s.wg.Add(1)
 	s.mu.Unlock()
 
 	// Drop evicted runs' series outside s.mu: registry callbacks take
@@ -474,6 +651,17 @@ func (s *Server) handleStart(w http.ResponseWriter, req *http.Request) {
 	s.runsStarted.Inc()
 	s.registerRunMetrics(r)
 	r.log = s.log
+	if queued {
+		s.queuedTotal.Inc()
+		s.log.Infow("run queued by admission control", "run", r.id,
+			"scenario", r.scenarioName, "reason", admitErr.Reason)
+		// Re-pump once: if the budget freed between the admission check
+		// and the enqueue, no release is coming to wake the queue.
+		s.pumpQueue()
+		writeJSON(w, http.StatusAccepted, r.info())
+		return
+	}
+	s.admitted.Inc()
 	if s.opts.JournalDir != "" {
 		s.openJournal(r)
 	}
@@ -492,12 +680,23 @@ var executeTestHook atomic.Pointer[func(*run)]
 // launch starts the run's lifecycle goroutine. The panic recovery is the
 // innermost defer, so a panic anywhere in the pipeline is contained: the
 // run finishes failed with the stack in its error, the journal records
-// the terminal state and closes, and the daemon carries on serving.
+// the terminal state and closes, and the daemon carries on serving. The
+// run's admission reservation is released (and the queue pumped) after
+// the run is terminal and its done channel closed.
 func (s *Server) launch(r *run, ctx context.Context, cancel context.CancelFunc) {
 	go func() {
 		defer s.wg.Done()
+		defer s.releaseAdmission(r)
 		defer close(r.done)
 		defer cancel()
+		// A wall-clock budget becomes a real context deadline here — at
+		// launch, not submission, so time spent in the admission queue
+		// does not count against the run.
+		if r.budget.MaxWall > 0 {
+			var cancelWall context.CancelFunc
+			ctx, cancelWall = context.WithDeadline(ctx, r.wallDeadline())
+			defer cancelWall()
+		}
 		defer func() {
 			if r.journal != nil {
 				r.journal.Close()
@@ -564,6 +763,11 @@ func (s *Server) registerRunMetrics(r *run) {
 	r.pacerRateHist = s.reg.Histogram("cptserved_pacer_window_rate",
 		"Distribution of achieved events/s over 1-second pacer windows.",
 		telemetry.RateBuckets, lbl...)
+	if r.degrade == DegradeDrop || r.degrade == DegradePause {
+		s.reg.GaugeFunc("cptserved_breaker_state",
+			"Sink circuit breaker: 0 closed, 1 open, 2 half-open.",
+			r.breakerState, lbl...)
+	}
 
 	for id, ds := range r.decode {
 		ds := ds
@@ -690,6 +894,13 @@ func (s *Server) handleStop(w http.ResponseWriter, req *http.Request) {
 		return
 	}
 	s.log.Infow("run stop requested", "run", r.id)
+	if s.cancelQueued(r) {
+		// Still waiting for admission: removed from the queue and finished
+		// without ever launching.
+		r.removeJournal()
+		writeJSON(w, http.StatusOK, r.info())
+		return
+	}
 	r.cancel()
 	select {
 	case <-r.done:

@@ -46,6 +46,7 @@ const (
 	StageScenarioSink    = "scenario.sink"    // one sink drain, end to end
 	StagePacerWait       = "pacer.wait"       // one pacer release wait
 	StagePacerWindow     = "pacer.window"     // one achieved-rate window
+	StagePacerShed       = "pacer.shed"       // one load-shedding burst (n = shed releases)
 	StageDecodeStep      = "decode.step"      // one BatchDecoder.Step
 	StageDecodeStepK     = "decode.stepk"     // one BatchDecoder.StepK
 	StageDecodeDraft     = "decode.draft"     // speculative draft proposal phase
@@ -57,6 +58,8 @@ const (
 	StageRunState        = "run.state"        // served run state transition (dur 0)
 	StageRunlogAppend    = "runlog.append"    // one write-ahead journal append
 	StageRunRecover      = "run.recover"      // served run: crash-recovery resume
+	StageRunQueued       = "run.queued"       // served run: admission-queue wait
+	StageSinkBreaker     = "sink.breaker"     // one sink circuit-breaker open interval
 )
 
 // Span is one recorded event: a stage, an optional run id, wall-clock start
